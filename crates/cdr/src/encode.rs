@@ -1,0 +1,250 @@
+//! The CDR encoder: an append-only buffer with CDR alignment rules.
+
+use crate::{CdrError, Endian};
+
+/// Encodes values into a CDR stream.
+///
+/// Alignment is computed relative to position 0 of this encoder, which in
+/// GIOP corresponds to the start of the message *body* (the 12-byte GIOP
+/// header is constructed so that the body begins 8-aligned).
+#[derive(Debug, Clone)]
+pub struct CdrEncoder {
+    buf: Vec<u8>,
+    endian: Endian,
+}
+
+impl CdrEncoder {
+    /// Creates an empty encoder with the given byte order.
+    pub fn new(endian: Endian) -> Self {
+        CdrEncoder {
+            buf: Vec::new(),
+            endian,
+        }
+    }
+
+    /// The byte order in use.
+    pub fn endian(&self) -> Endian {
+        self.endian
+    }
+
+    /// Current length of the encoded stream.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// A view of the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Inserts padding bytes so the next write is `align`-aligned.
+    /// CDR pads with zero bytes.
+    pub fn align(&mut self, align: usize) {
+        debug_assert!(align.is_power_of_two());
+        let misalign = self.buf.len() % align;
+        if misalign != 0 {
+            self.buf.resize(self.buf.len() + (align - misalign), 0);
+        }
+    }
+
+    /// Writes a single octet (no alignment).
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a boolean as an octet (1 = true, 0 = false).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Writes a 2-byte unsigned integer, 2-aligned.
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        match self.endian {
+            Endian::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+            Endian::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes a 4-byte unsigned integer, 4-aligned.
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        match self.endian {
+            Endian::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+            Endian::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an 8-byte unsigned integer, 8-aligned.
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        match self.endian {
+            Endian::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+            Endian::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes a 2-byte signed integer, 2-aligned.
+    pub fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+
+    /// Writes a 4-byte signed integer, 4-aligned.
+    pub fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+
+    /// Writes an 8-byte signed integer, 8-aligned.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes an IEEE-754 single, 4-aligned.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Writes an IEEE-754 double, 8-aligned.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a CDR string: u32 length (including the NUL), the UTF-8
+    /// bytes, then a NUL terminator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdrError::BadStringTerminator`] if `s` contains an
+    /// embedded NUL, which CDR cannot represent.
+    pub fn write_string(&mut self, s: &str) -> Result<(), CdrError> {
+        if s.as_bytes().contains(&0) {
+            return Err(CdrError::BadStringTerminator);
+        }
+        self.write_u32((s.len() + 1) as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(0);
+        Ok(())
+    }
+
+    /// Writes a `sequence<octet>`: u32 length then raw bytes.
+    pub fn write_octet_seq(&mut self, bytes: &[u8]) {
+        self.write_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes raw bytes with no length prefix and no alignment.
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a CDR *encapsulation*: a `sequence<octet>` whose contents
+    /// are an independently aligned CDR stream beginning with its own
+    /// endianness flag byte.
+    pub fn write_encapsulation(&mut self, build: impl FnOnce(&mut CdrEncoder)) {
+        let mut inner = CdrEncoder::new(self.endian);
+        inner.write_u8(self.endian.flag());
+        build(&mut inner);
+        self.write_octet_seq(&inner.into_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_with_zeros() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_u8(1);
+        e.write_u32(2);
+        assert_eq!(e.as_bytes(), &[1, 0, 0, 0, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn no_padding_when_aligned() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_u32(1);
+        e.write_u32(2);
+        assert_eq!(e.len(), 8);
+    }
+
+    #[test]
+    fn eight_byte_alignment() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_u32(0);
+        e.write_u64(0x0102030405060708);
+        assert_eq!(e.len(), 16);
+        assert_eq!(&e.as_bytes()[8..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut e = CdrEncoder::new(Endian::Little);
+        e.write_u16(0x0102);
+        assert_eq!(e.as_bytes(), &[0x02, 0x01]);
+    }
+
+    #[test]
+    fn string_encoding_includes_nul() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_string("hi").unwrap();
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 3, b'h', b'i', 0]);
+    }
+
+    #[test]
+    fn empty_string_is_length_one() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_string("").unwrap();
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn embedded_nul_rejected() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        assert_eq!(
+            e.write_string("a\0b"),
+            Err(CdrError::BadStringTerminator)
+        );
+    }
+
+    #[test]
+    fn octet_seq_has_length_prefix() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_octet_seq(&[9, 8]);
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 2, 9, 8]);
+    }
+
+    #[test]
+    fn encapsulation_carries_flag_byte() {
+        let mut e = CdrEncoder::new(Endian::Little);
+        e.write_encapsulation(|inner| inner.write_u32(1));
+        // len=8 (flag + 3 pad + 4 data), then flag=1 (little).
+        assert_eq!(e.as_bytes(), &[8, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn floats_round_trip_via_bits() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_f32(1.5);
+        e.write_f64(-2.25);
+        assert_eq!(e.len(), 16); // 4 + pad 4 + 8
+    }
+
+    #[test]
+    fn bool_encoding() {
+        let mut e = CdrEncoder::new(Endian::Big);
+        e.write_bool(true);
+        e.write_bool(false);
+        assert_eq!(e.as_bytes(), &[1, 0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based round-trip tests: any value the encoder accepts must
+//! decode back to an identical value, under both byte orders.
+
+use eternal_cdr::{Any, CdrDecoder, CdrEncoder, Endian, TypeCode, Value};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary `(TypeCode, Value)` pair where the
+/// value matches the type code, recursing through sequences and structs.
+fn typed_value() -> impl Strategy<Value = (TypeCode, Value)> {
+    let leaf = prop_oneof![
+        Just((TypeCode::Null, Value::Null)),
+        any::<bool>().prop_map(|b| (TypeCode::Boolean, Value::Boolean(b))),
+        any::<u8>().prop_map(|v| (TypeCode::Octet, Value::Octet(v))),
+        any::<i16>().prop_map(|v| (TypeCode::Short, Value::Short(v))),
+        any::<u16>().prop_map(|v| (TypeCode::UShort, Value::UShort(v))),
+        any::<i32>().prop_map(|v| (TypeCode::Long, Value::Long(v))),
+        any::<u32>().prop_map(|v| (TypeCode::ULong, Value::ULong(v))),
+        any::<i64>().prop_map(|v| (TypeCode::LongLong, Value::LongLong(v))),
+        any::<u64>().prop_map(|v| (TypeCode::ULongLong, Value::ULongLong(v))),
+        // NaN breaks Value equality; use finite floats.
+        (-1e30f32..1e30).prop_map(|v| (TypeCode::Float, Value::Float(v))),
+        (-1e300f64..1e300).prop_map(|v| (TypeCode::Double, Value::Double(v))),
+        "[a-zA-Z0-9 _.-]{0,40}"
+            .prop_map(|s| (TypeCode::String, Value::String(s))),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            // Homogeneous sequence: one element type, 0..8 values of it.
+            (inner.clone(), 0usize..8).prop_flat_map(|((tc, v), n)| {
+                let values = vec![v; n];
+                Just((TypeCode::Sequence(Box::new(tc)), Value::Sequence(values)))
+            }),
+            // Struct of up to 4 independally typed members.
+            prop::collection::vec(inner, 0..4).prop_map(|members| {
+                let tcs = members
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (tc, _))| (format!("m{i}"), tc.clone()))
+                    .collect();
+                let vals = members.into_iter().map(|(_, v)| v).collect();
+                (
+                    TypeCode::Struct {
+                        name: "S".into(),
+                        members: tcs,
+                    },
+                    Value::Struct(vals),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_round_trips_big_endian((tc, v) in typed_value()) {
+        let any = Any::new(tc, v).unwrap();
+        let bytes = any.to_bytes().unwrap();
+        prop_assert_eq!(Any::from_bytes(&bytes).unwrap(), any);
+    }
+
+    #[test]
+    fn value_round_trips_little_endian((tc, v) in typed_value()) {
+        let mut enc = CdrEncoder::new(Endian::Little);
+        v.encode(&tc, &mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, Endian::Little);
+        let back = Value::decode(&tc, &mut dec).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert!(dec.is_at_end());
+    }
+
+    #[test]
+    fn typecode_round_trips((tc, _) in typed_value()) {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        tc.encode(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, Endian::Big);
+        prop_assert_eq!(TypeCode::decode(&mut dec).unwrap(), tc);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Errors are fine; panics are not.
+        let _ = Any::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn octet_blob_identity(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let any = Any::from(data.clone());
+        let bytes = any.to_bytes().unwrap();
+        let back = Any::from_bytes(&bytes).unwrap();
+        match back.value {
+            Value::Sequence(items) => {
+                let out: Vec<u8> = items.iter().map(|i| match i {
+                    Value::Octet(o) => *o,
+                    other => panic!("non-octet {other:?}"),
+                }).collect();
+                prop_assert_eq!(out, data);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strings_round_trip(s in "\\PC{0,100}") {
+        prop_assume!(!s.contains('\0'));
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_string(&s).unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, Endian::Big);
+        prop_assert_eq!(dec.read_string().unwrap(), s);
+    }
+}

@@ -1,0 +1,1101 @@
+//! The whole-system harness: processors (Totem node + Eternal
+//! mechanisms + ORB + replicas) over the deterministic network, driven
+//! by one event loop.
+//!
+//! This is the reproduction's stand-in for the paper's testbed (§6): a
+//! network of workstations running Totem, the Eternal mechanisms, and
+//! unmodified CORBA applications. The cluster deploys replicated object
+//! groups from fault-tolerance properties, runs workloads, injects
+//! replica and processor faults, and records the metrics the evaluation
+//! section reports (recovery time vs state size, response times,
+//! resource usage per replication style).
+
+use crate::app::ClientApp;
+use crate::gid::{ConnectionName, Direction, GroupId};
+use crate::manager::{ReplicationManager, ResourceManager};
+use crate::mechanisms::{GroupKind, GroupMeta, MechConfig, Mechanisms, Out};
+use crate::message::{fragment_eternal, EternalMessage, EternalReassembler};
+use crate::metrics::{Metrics, RecoveryRecord};
+use crate::properties::{FaultToleranceProperties, ReplicationStyle};
+use eternal_orb::servant::CheckpointableServant;
+use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
+use eternal_sim::trace::Trace;
+use eternal_sim::{Duration, Scheduler, SimTime};
+use eternal_totem::node::{Action as TotemAction, Delivery as TotemDelivery, Phase, TotemNode};
+use eternal_totem::types::{Frame, Timer as TotemTimer};
+use eternal_totem::TotemConfig;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Static configuration of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of processors.
+    pub processors: u32,
+    /// Network model parameters (bandwidth, frame size, loss …).
+    pub net: NetworkConfig,
+    /// Totem protocol parameters.
+    pub totem: TotemConfig,
+    /// Mechanisms parameters (execution time, ablation switches).
+    pub mech: MechConfig,
+    /// Time to launch a replica process before it can join recovery.
+    pub launch_delay: Duration,
+    /// Whether the resource manager automatically restores the replica
+    /// count after faults.
+    pub auto_recover: bool,
+    /// Record a structured trace (disable for benchmarks).
+    pub trace: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            processors: 4,
+            net: NetworkConfig::default(),
+            totem: TotemConfig::default(),
+            mech: MechConfig::default(),
+            launch_delay: Duration::from_millis(2),
+            auto_recover: true,
+            trace: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    TotemFrame {
+        dst: NodeId,
+        frame: Frame,
+    },
+    TotemTimer {
+        node: NodeId,
+        timer: TotemTimer,
+        generation: u64,
+    },
+    EternalMulticast {
+        src: NodeId,
+        message: EternalMessage,
+    },
+    CheckpointTick {
+        group: GroupId,
+    },
+    LaunchReplica {
+        node: NodeId,
+        group: GroupId,
+    },
+}
+
+struct GroupInfo {
+    name: String,
+    props: FaultToleranceProperties,
+    hosts: Vec<NodeId>,
+    make_kind: Arc<dyn Fn() -> GroupKind + Send + Sync>,
+    /// Cluster-side view of which processors currently hold an instance.
+    hosting: BTreeSet<NodeId>,
+}
+
+impl std::fmt::Debug for GroupInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupInfo")
+            .field("name", &self.name)
+            .field("hosts", &self.hosts)
+            .finish()
+    }
+}
+
+/// The whole simulated system.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    sched: Scheduler<Event>,
+    net: NetworkModel,
+    totem: BTreeMap<NodeId, TotemNode>,
+    mechs: BTreeMap<NodeId, Mechanisms>,
+    reasm: BTreeMap<NodeId, EternalReassembler>,
+    alive: BTreeMap<NodeId, bool>,
+    timer_gen: HashMap<(NodeId, TotemTimer), u64>,
+    next_emsg_id: BTreeMap<NodeId, u64>,
+    groups: BTreeMap<GroupId, GroupInfo>,
+    next_group: u32,
+    issue_times: HashMap<(ConnectionName, u32), SimTime>,
+    pending_launch: HashMap<(GroupId, NodeId), SimTime>,
+    /// Groups with a replacement launch scheduled or in progress, so the
+    /// two fault-detection paths (ReplicaFault message, membership
+    /// change) never double-launch.
+    launch_inflight: BTreeSet<GroupId>,
+    /// Evolution Manager state: per upgrading group, the replicas still
+    /// running the old implementation.
+    upgrades: BTreeMap<GroupId, Vec<NodeId>>,
+    metrics: Metrics,
+    trace: Trace,
+    repl_mgr: ReplicationManager,
+    res_mgr: ResourceManager,
+    clients_started: bool,
+}
+
+impl Cluster {
+    /// Builds the system and starts Totem on every processor.
+    pub fn new(config: ClusterConfig, seed: u64) -> Self {
+        config.totem.validate();
+        let net = NetworkModel::new(config.processors, config.net.clone(), seed);
+        let mut cluster = Cluster {
+            repl_mgr: ReplicationManager::new(config.processors),
+            res_mgr: ResourceManager,
+            sched: Scheduler::new(),
+            net,
+            totem: BTreeMap::new(),
+            mechs: BTreeMap::new(),
+            reasm: BTreeMap::new(),
+            alive: BTreeMap::new(),
+            timer_gen: HashMap::new(),
+            next_emsg_id: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            next_group: 0,
+            issue_times: HashMap::new(),
+            pending_launch: HashMap::new(),
+            launch_inflight: BTreeSet::new(),
+            upgrades: BTreeMap::new(),
+            metrics: Metrics::default(),
+            trace: if config.trace {
+                Trace::new()
+            } else {
+                Trace::disabled()
+            },
+            clients_started: false,
+            config,
+        };
+        for i in 0..cluster.config.processors {
+            let id = NodeId(i);
+            let mut node = TotemNode::new(id, cluster.config.totem.clone());
+            let actions = node.start();
+            cluster.totem.insert(id, node);
+            cluster
+                .mechs
+                .insert(id, Mechanisms::new(id, cluster.config.mech.clone()));
+            cluster.reasm.insert(id, EternalReassembler::new());
+            cluster.alive.insert(id, true);
+            cluster.next_emsg_id.insert(id, 0);
+            cluster.apply_totem_actions(id, actions);
+        }
+        cluster
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The processors, in id order.
+    pub fn processors(&self) -> Vec<NodeId> {
+        self.mechs.keys().copied().collect()
+    }
+
+    /// The structured trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The network model, read-only (for counters).
+    pub fn net(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// The network model, mutable (for partitions).
+    pub fn net_mut(&mut self) -> &mut NetworkModel {
+        &mut self.net
+    }
+
+    /// The mechanisms of one processor (inspection in tests).
+    pub fn mechanisms(&self, node: NodeId) -> &Mechanisms {
+        &self.mechs[&node]
+    }
+
+    /// The Totem engine status of one processor: protocol phase,
+    /// installed ring, and membership view (diagnostics).
+    pub fn totem_status(
+        &self,
+        node: NodeId,
+    ) -> (Phase, Option<eternal_totem::RingId>, Vec<NodeId>) {
+        let t = &self.totem[&node];
+        (t.phase(), t.ring(), t.members().to_vec())
+    }
+
+    /// Aggregated system metrics.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.metrics.clone();
+        for mech in self.mechs.values() {
+            let c = mech.counters();
+            m.requests_dispatched += c.requests_dispatched;
+            m.replies_delivered += c.replies_delivered;
+            m.duplicates_suppressed += mech.suppressed();
+            m.replies_discarded_by_orb += c.replies_discarded_by_orb;
+            m.requests_discarded_unnegotiated += c.requests_discarded_unnegotiated;
+            m.checkpoints_logged += c.checkpoints_logged;
+            m.messages_logged += c.messages_logged;
+        }
+        m
+    }
+
+    // ================================================================
+    // Deployment
+    // ================================================================
+
+    /// Deploys a replicated server object; returns its group id.
+    pub fn deploy_server<F>(
+        &mut self,
+        name: &str,
+        props: FaultToleranceProperties,
+        factory: F,
+    ) -> GroupId
+    where
+        F: Fn() -> Box<dyn CheckpointableServant> + Send + Sync + 'static,
+    {
+        let factory = Arc::new(factory);
+        self.deploy_group(
+            name,
+            props,
+            Arc::new(move || {
+                let f = Arc::clone(&factory);
+                GroupKind::Server(Box::new(move || f()))
+            }),
+        )
+    }
+
+    /// Deploys a replicated client object; returns its group id.
+    pub fn deploy_client<F>(
+        &mut self,
+        name: &str,
+        props: FaultToleranceProperties,
+        factory: F,
+    ) -> GroupId
+    where
+        F: Fn(GroupId) -> Box<dyn ClientApp> + Send + Sync + 'static,
+    {
+        let factory = Arc::new(factory);
+        self.deploy_group(
+            name,
+            props,
+            Arc::new(move || {
+                let f = Arc::clone(&factory);
+                GroupKind::Client(Box::new(move |g| f(g)))
+            }),
+        )
+    }
+
+    fn deploy_group(
+        &mut self,
+        name: &str,
+        props: FaultToleranceProperties,
+        make_kind: Arc<dyn Fn() -> GroupKind + Send + Sync>,
+    ) -> GroupId {
+        props.validate();
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+        let hosts = self.repl_mgr.plan_hosts(props.initial_replicas);
+        // Register on every processor; instantiate on hosting ones.
+        for (&node, mech) in self.mechs.iter_mut() {
+            mech.register_group(GroupMeta {
+                id,
+                name: name.to_owned(),
+                props: props.clone(),
+                hosts: hosts.clone(),
+                kind: make_kind(),
+            });
+            let instantiates = match props.style {
+                ReplicationStyle::Active | ReplicationStyle::WarmPassive => {
+                    hosts.contains(&node)
+                }
+                ReplicationStyle::ColdPassive => hosts.first() == Some(&node),
+            };
+            if instantiates {
+                mech.deploy_local_replica(id);
+            }
+        }
+        let hosting: BTreeSet<NodeId> = match props.style {
+            ReplicationStyle::Active | ReplicationStyle::WarmPassive => {
+                hosts.iter().copied().collect()
+            }
+            ReplicationStyle::ColdPassive => hosts.first().copied().into_iter().collect(),
+        };
+        if props.style.logs_checkpoints() {
+            self.sched.schedule_after(
+                props.checkpoint_interval,
+                Event::CheckpointTick { group: id },
+            );
+        }
+        self.groups.insert(
+            id,
+            GroupInfo {
+                name: name.to_owned(),
+                props,
+                hosts,
+                make_kind,
+                hosting,
+            },
+        );
+        id
+    }
+
+    /// The Evolution Manager (paper §2): upgrades a replicated server to
+    /// a new implementation **without taking the service down**, by
+    /// exploiting the replication itself. Replicas running the old
+    /// implementation are killed one at a time; each replacement is
+    /// instantiated from `factory` and synchronized through the normal
+    /// §5.1 state transfer, so the new version starts from the old
+    /// version's state. The group keeps serving throughout (its other
+    /// replicas answer while each one is replaced).
+    ///
+    /// The new implementation must accept the old one's `set_state`
+    /// payload (state-format compatibility is the application's
+    /// contract, exactly as in the paper's Evolution Manager).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is unknown, not active-style (rolling
+    /// replacement needs siblings to serve state), or already upgrading.
+    pub fn upgrade_server<F>(&mut self, group: GroupId, factory: F)
+    where
+        F: Fn() -> Box<dyn CheckpointableServant> + Send + Sync + 'static,
+    {
+        let info = self.groups.get_mut(&group).expect("unknown group");
+        assert_eq!(
+            info.props.style,
+            ReplicationStyle::Active,
+            "rolling upgrade requires active replication"
+        );
+        assert!(
+            !self.upgrades.contains_key(&group),
+            "upgrade already in progress"
+        );
+        let factory = Arc::new(factory);
+        let make_kind: Arc<dyn Fn() -> GroupKind + Send + Sync> = Arc::new(move || {
+            let f = Arc::clone(&factory);
+            GroupKind::Server(Box::new(move || f()))
+        });
+        info.make_kind = Arc::clone(&make_kind);
+        // Future instantiations everywhere use the new implementation.
+        for mech in self.mechs.values_mut() {
+            mech.replace_group_kind(group, make_kind());
+        }
+        let mut old_replicas: Vec<NodeId> = self.groups[&group].hosting.iter().copied().collect();
+        old_replicas.reverse(); // pop() upgrades in host order
+        let now = self.now();
+        self.trace.record(
+            now,
+            "cluster/evolution-manager".to_string(),
+            "upgrade.begin",
+            format!("{group} replicas={old_replicas:?}"),
+        );
+        self.upgrades.insert(group, old_replicas);
+        self.upgrade_step(group);
+    }
+
+    /// Whether an upgrade is still replacing old replicas of `group`.
+    pub fn upgrade_in_progress(&self, group: GroupId) -> bool {
+        self.upgrades.contains_key(&group)
+    }
+
+    fn upgrade_step(&mut self, group: GroupId) {
+        let Some(queue) = self.upgrades.get_mut(&group) else { return };
+        let Some(victim) = queue.pop() else {
+            self.upgrades.remove(&group);
+            let now = self.now();
+            self.trace.record(
+                now,
+                "cluster/evolution-manager".to_string(),
+                "upgrade.complete",
+                format!("{group}"),
+            );
+            return;
+        };
+        // Kill the old-version replica; the resource manager launches a
+        // replacement that instantiates the new implementation and is
+        // state-synchronized by the recovery mechanisms.
+        self.kill_replica(group, victim);
+    }
+
+    /// All deployed groups with their names, in id order.
+    pub fn groups(&self) -> Vec<(GroupId, String)> {
+        self.groups
+            .iter()
+            .map(|(&id, info)| (id, info.name.clone()))
+            .collect()
+    }
+
+    /// Renders a human-readable status report of the whole system:
+    /// processors, groups, replica placement and phases, and headline
+    /// counters. Intended for operators and example binaries.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "cluster @ {} ({} processors)", self.now(), self.config.processors);
+        for (&node, _) in &self.mechs {
+            let status = if self.is_alive(node) { "up" } else { "DOWN" };
+            let _ = writeln!(out, "  {node}: {status}");
+        }
+        for (&group, info) in &self.groups {
+            let style = format!("{:?}", info.props.style);
+            let _ = writeln!(
+                out,
+                "  {group} {:?} [{style}] hosts={:?} hosting={:?}",
+                info.name, info.hosts, info.hosting
+            );
+            for &node in &info.hosting {
+                if !self.is_alive(node) {
+                    continue;
+                }
+                let mech = &self.mechs[&node];
+                let phase = mech
+                    .replica_phase(group)
+                    .map(|p| format!("{p:?}"))
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "      {node}: phase={phase} log_suffix={} checkpoints={}",
+                    mech.log_suffix_len(group),
+                    mech.checkpoints_taken(group),
+                );
+            }
+        }
+        let m = self.metrics();
+        let _ = writeln!(
+            out,
+            "  totals: dispatched={} replies={} dups={} recoveries={} promotions={}",
+            m.requests_dispatched,
+            m.replies_delivered,
+            m.duplicates_suppressed,
+            m.recoveries_completed,
+            m.promotions,
+        );
+        out
+    }
+
+    /// Looks up a group by its deployment name.
+    pub fn group_by_name(&self, name: &str) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .find(|(_, g)| g.name == name)
+            .map(|(&id, _)| id)
+    }
+
+    /// Processors currently hosting an instance of `group`.
+    pub fn hosting(&self, group: GroupId) -> Vec<NodeId> {
+        self.groups[&group].hosting.iter().copied().collect()
+    }
+
+    // ================================================================
+    // Running
+    // ================================================================
+
+    /// Runs until the Totem ring is formed among all live processors and
+    /// client applications have issued their initial invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if formation does not converge within 30 virtual seconds.
+    pub fn run_until_deployed(&mut self) {
+        let deadline = self.now() + Duration::from_secs(30);
+        while !self.formed() {
+            assert!(self.now() < deadline, "ring formation did not converge");
+            if !self.step() {
+                panic!("simulation ran dry before the ring formed");
+            }
+        }
+        if !self.clients_started {
+            self.clients_started = true;
+            let nodes: Vec<NodeId> = self.mechs.keys().copied().collect();
+            for node in nodes {
+                if self.is_alive(node) {
+                    let outs = self.mechs.get_mut(&node).expect("known").start_clients();
+                    let now = self.now();
+                    self.process_outs(node, outs, now, Duration::ZERO);
+                }
+            }
+        }
+    }
+
+    /// Whether all live processors share one operational ring.
+    pub fn formed(&self) -> bool {
+        let live: Vec<NodeId> = self
+            .totem
+            .keys()
+            .copied()
+            .filter(|&id| self.is_alive(id))
+            .collect();
+        if live.is_empty() {
+            return true;
+        }
+        let first = &self.totem[&live[0]];
+        if first.phase() != Phase::Operational {
+            return false;
+        }
+        let ring = first.ring();
+        live.iter().all(|id| {
+            let n = &self.totem[id];
+            n.phase() == Phase::Operational && n.ring() == ring && n.members() == live.as_slice()
+        })
+    }
+
+    /// Whether a processor is up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(&node).copied().unwrap_or(false)
+    }
+
+    /// Executes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, event)) = self.sched.pop() else {
+            return false;
+        };
+        self.handle_event(now, event);
+        true
+    }
+
+    /// Runs until `deadline` (events beyond it stay queued).
+    pub fn run_until_time(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now() + d;
+        self.run_until_time(deadline);
+    }
+
+    // ================================================================
+    // Fault injection and recovery
+    // ================================================================
+
+    /// Kills the replica of `group` hosted on `node` (process death;
+    /// the processor and its mechanisms survive). Detection takes the
+    /// group's fault-monitoring interval.
+    pub fn kill_replica(&mut self, group: GroupId, node: NodeId) {
+        let monitor = self.groups[&group].props.fault_monitoring_interval;
+        self.groups.get_mut(&group).expect("known group").hosting.remove(&node);
+        let outs = self
+            .mechs
+            .get_mut(&node)
+            .expect("known node")
+            .kill_local_replica(group);
+        let now = self.now();
+        self.trace
+            .record(now, format!("{node}/cluster"), "replica.killed", format!("{group}"));
+        self.process_outs(node, outs, now, monitor);
+    }
+
+    /// Manually launches a replacement replica of `group` on `node`
+    /// after the configured launch delay (the §5.1 recovery path).
+    pub fn launch_replica(&mut self, group: GroupId, node: NodeId) {
+        self.sched
+            .schedule_after(self.config.launch_delay, Event::LaunchReplica { node, group });
+    }
+
+    /// Crashes an entire processor: Totem membership, mechanisms state,
+    /// and all hosted replicas are lost.
+    pub fn crash_processor(&mut self, node: NodeId) {
+        self.alive.insert(node, true); // ensure key exists
+        self.alive.insert(node, false);
+        self.net.set_up(node, false);
+        for timer in [
+            TotemTimer::TokenLoss,
+            TotemTimer::TokenRetransmit,
+            TotemTimer::JoinRebroadcast,
+            TotemTimer::ConsensusTimeout,
+        ] {
+            *self.timer_gen.entry((node, timer)).or_insert(0) += 1;
+        }
+        for info in self.groups.values_mut() {
+            info.hosting.remove(&node);
+        }
+        let now = self.now();
+        self.trace
+            .record(now, format!("{node}/cluster"), "processor.crashed", "");
+    }
+
+    /// Restarts a crashed processor with empty volatile state; its
+    /// Totem node rejoins and groups re-register (no replicas are
+    /// instantiated — recovery launches them).
+    pub fn restart_processor(&mut self, node: NodeId) {
+        assert!(!self.is_alive(node), "restart of a live processor");
+        self.alive.insert(node, true);
+        self.net.set_up(node, true);
+        let mut totem = TotemNode::new(node, self.config.totem.clone());
+        let actions = totem.start();
+        self.totem.insert(node, totem);
+        let mut mech = Mechanisms::new(node, self.config.mech.clone());
+        for (&id, info) in &self.groups {
+            mech.register_group(GroupMeta {
+                id,
+                name: info.name.clone(),
+                props: info.props.clone(),
+                hosts: info.hosts.clone(),
+                kind: (info.make_kind)(),
+            });
+        }
+        self.mechs.insert(node, mech);
+        self.reasm.insert(node, EternalReassembler::new());
+        let now = self.now();
+        self.trace
+            .record(now, format!("{node}/cluster"), "processor.restarted", "");
+        self.apply_totem_actions(node, actions);
+    }
+
+    /// Queues an application broadcast … not supported: all traffic
+    /// originates from deployed client applications.
+    // ================================================================
+    // Internals
+    // ================================================================
+
+    fn handle_event(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::TotemFrame { dst, frame } => {
+                if self.is_alive(dst) {
+                    let actions = self.totem.get_mut(&dst).expect("known").handle_frame(frame);
+                    self.apply_totem_actions(dst, actions);
+                }
+            }
+            Event::TotemTimer {
+                node,
+                timer,
+                generation,
+            } => {
+                let current = self.timer_gen.get(&(node, timer)).copied().unwrap_or(0);
+                if generation == current && self.is_alive(node) {
+                    let actions = self.totem.get_mut(&node).expect("known").handle_timer(timer);
+                    self.apply_totem_actions(node, actions);
+                }
+            }
+            Event::EternalMulticast { src, message } => self.do_multicast(src, message, now),
+            Event::CheckpointTick { group } => {
+                if let Some(info) = self.groups.get(&group) {
+                    let interval = info.props.checkpoint_interval;
+                    let nodes: Vec<NodeId> = self.mechs.keys().copied().collect();
+                    for node in nodes {
+                        if self.is_alive(node) {
+                            let outs = self
+                                .mechs
+                                .get_mut(&node)
+                                .expect("known")
+                                .checkpoint_due(group);
+                            self.process_outs(node, outs, now, Duration::ZERO);
+                        }
+                    }
+                    self.sched
+                        .schedule_after(interval, Event::CheckpointTick { group });
+                }
+            }
+            Event::LaunchReplica { node, group } => {
+                if !self.is_alive(node) {
+                    self.launch_inflight.remove(&group);
+                    return;
+                }
+                self.pending_launch.insert((group, node), now);
+                self.groups
+                    .get_mut(&group)
+                    .expect("known group")
+                    .hosting
+                    .insert(node);
+                self.trace.record(
+                    now,
+                    format!("{node}/cluster"),
+                    "replica.launched",
+                    format!("{group}"),
+                );
+                let outs = self
+                    .mechs
+                    .get_mut(&node)
+                    .expect("known")
+                    .launch_recovering_replica(group);
+                self.process_outs(node, outs, now, Duration::ZERO);
+            }
+        }
+    }
+
+    fn do_multicast(&mut self, src: NodeId, message: EternalMessage, now: SimTime) {
+        if !self.is_alive(src) {
+            return;
+        }
+        if let EternalMessage::Iiop {
+            conn,
+            direction: Direction::Request,
+            op_seq,
+            ..
+        } = &message
+        {
+            // Round-trip timing starts at the first copy's send.
+            self.issue_times.entry((*conn, *op_seq)).or_insert(now);
+        }
+        let encoded = message.to_bytes();
+        let max_payload = self.net.config().frame_payload().saturating_sub(32);
+        let msg_id = {
+            let id = self.next_emsg_id.get_mut(&src).expect("known");
+            *id += 1;
+            *id
+        };
+        for frag in fragment_eternal(src, msg_id, &encoded, max_payload) {
+            let actions = self.totem.get_mut(&src).expect("known").broadcast(frag);
+            self.apply_totem_actions(src, actions);
+        }
+    }
+
+    fn apply_totem_actions(&mut self, node: NodeId, actions: Vec<TotemAction>) {
+        let now = self.sched.now();
+        for action in actions {
+            match action {
+                TotemAction::Multicast(frame) => {
+                    let wire = frame.wire_len().min(self.net.config().frame_payload());
+                    for d in self.net.multicast(node, wire, now) {
+                        self.sched.schedule_at(
+                            d.at,
+                            Event::TotemFrame {
+                                dst: d.dst,
+                                frame: frame.clone(),
+                            },
+                        );
+                    }
+                }
+                TotemAction::SetTimer(timer, after) => {
+                    let generation = self.timer_gen.entry((node, timer)).or_insert(0);
+                    *generation += 1;
+                    let generation = *generation;
+                    self.sched.schedule_at(
+                        now + after,
+                        Event::TotemTimer {
+                            node,
+                            timer,
+                            generation,
+                        },
+                    );
+                }
+                TotemAction::CancelTimer(timer) => {
+                    *self.timer_gen.entry((node, timer)).or_insert(0) += 1;
+                }
+                TotemAction::Deliver(delivery) => self.on_totem_delivery(node, delivery),
+            }
+        }
+    }
+
+    fn on_totem_delivery(&mut self, node: NodeId, delivery: TotemDelivery) {
+        let now = self.sched.now();
+        match delivery {
+            TotemDelivery::Message { data, .. } => {
+                match self.reasm.get_mut(&node).expect("known").push(&data) {
+                    Ok(Some(message)) => {
+                        self.resource_manager_hook(node, &message, now);
+                        let outs = self
+                            .mechs
+                            .get_mut(&node)
+                            .expect("known")
+                            .on_delivered(message, now);
+                        self.process_outs(node, outs, now, Duration::ZERO);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.trace.record(
+                            now,
+                            format!("{node}/reasm"),
+                            "reassembly.error",
+                            e.to_string(),
+                        );
+                    }
+                }
+            }
+            TotemDelivery::ConfigChange { members, .. } => {
+                self.trace.record(
+                    now,
+                    format!("{node}/totem"),
+                    "config.change",
+                    format!("{members:?}"),
+                );
+                // Cluster-side resource management reacts once, at the
+                // lowest live member.
+                if members.first() == Some(&node) {
+                    self.resource_manager_config_change(&members, now);
+                }
+                let outs = self
+                    .mechs
+                    .get_mut(&node)
+                    .expect("known")
+                    .on_config_change(&members);
+                self.process_outs(node, outs, now, Duration::ZERO);
+            }
+        }
+    }
+
+    /// The Resource Manager's reaction to a delivered fault: restore the
+    /// replica count (paper §2). Acts once per fault, at the lowest live
+    /// processor, with a deterministic replacement choice.
+    fn resource_manager_hook(&mut self, node: NodeId, message: &EternalMessage, now: SimTime) {
+        if !self.config.auto_recover {
+            return;
+        }
+        let EternalMessage::ReplicaFault { group, .. } = message else {
+            return;
+        };
+        let min_live = self
+            .alive
+            .iter()
+            .filter(|&(_, &up)| up)
+            .map(|(&n, _)| n)
+            .min();
+        if Some(node) != min_live {
+            return;
+        }
+        if self.launch_inflight.contains(group) {
+            return;
+        }
+        let Some(info) = self.groups.get(group) else { return };
+        if info.hosting.len() >= info.props.min_replicas {
+            return;
+        }
+        let alive: Vec<NodeId> = self
+            .alive
+            .iter()
+            .filter(|&(_, &up)| up)
+            .map(|(&n, _)| n)
+            .collect();
+        let hosting: Vec<NodeId> = info.hosting.iter().copied().collect();
+        if let Some(replacement) =
+            self.res_mgr
+                .choose_replacement(&info.hosts, &hosting, &alive)
+        {
+            self.trace.record(
+                now,
+                format!("{node}/resource-manager"),
+                "replacement.chosen",
+                format!("{group} -> {replacement}"),
+            );
+            self.launch_inflight.insert(*group);
+            self.sched.schedule_after(
+                self.config.launch_delay,
+                Event::LaunchReplica {
+                    node: replacement,
+                    group: *group,
+                },
+            );
+        }
+    }
+
+    fn resource_manager_config_change(&mut self, members: &[NodeId], now: SimTime) {
+        if !self.config.auto_recover {
+            return;
+        }
+        let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            let info = self.groups.get_mut(&group).expect("listed");
+            let dead: Vec<NodeId> = info
+                .hosting
+                .iter()
+                .copied()
+                .filter(|h| !member_set.contains(h))
+                .collect();
+            for d in &dead {
+                info.hosting.remove(d);
+            }
+            if self.launch_inflight.contains(&group) {
+                continue;
+            }
+            let info = self.groups.get(&group).expect("listed");
+            if info.hosting.len() >= info.props.min_replicas {
+                continue;
+            }
+            // A passive group below minimum but with a live primary is
+            // handled by promotion plus (optionally) a new backup; only
+            // launch when a state-serving path exists to copy from.
+            if info.hosting.is_empty() {
+                continue; // total loss: nothing to transfer state from
+            }
+            let alive: Vec<NodeId> = member_set.iter().copied().collect();
+            let hosting: Vec<NodeId> = info.hosting.iter().copied().collect();
+            let designated = info.hosts.clone();
+            if let Some(replacement) = self
+                .res_mgr
+                .choose_replacement(&designated, &hosting, &alive)
+            {
+                self.trace.record(
+                    now,
+                    "cluster/resource-manager".to_string(),
+                    "replacement.chosen",
+                    format!("{group} -> {replacement}"),
+                );
+                self.launch_inflight.insert(group);
+                self.sched.schedule_after(
+                    self.config.launch_delay,
+                    Event::LaunchReplica {
+                        node: replacement,
+                        group,
+                    },
+                );
+            }
+        }
+    }
+
+    fn process_outs(&mut self, node: NodeId, outs: Vec<Out>, now: SimTime, extra: Duration) {
+        for out in outs {
+            match out {
+                Out::Multicast { delay, message } => {
+                    self.sched.schedule_at(
+                        now + delay + extra,
+                        Event::EternalMulticast { src: node, message },
+                    );
+                }
+                Out::ReplyDelivered { conn, op_seq } => {
+                    if let Some(t0) = self.issue_times.remove(&(conn, op_seq)) {
+                        self.metrics.round_trips.push(now - t0);
+                    }
+                }
+                Out::RecoveryComplete {
+                    group,
+                    app_state_bytes,
+                } => {
+                    self.launch_inflight.remove(&group);
+                    if self.upgrades.contains_key(&group) {
+                        // Evolution Manager: this replacement is running
+                        // the new implementation; replace the next one.
+                        self.upgrade_step(group);
+                    }
+                    if let Some(t0) = self.pending_launch.remove(&(group, node)) {
+                        self.metrics.recoveries.push(RecoveryRecord {
+                            launched_at: t0,
+                            operational_at: now,
+                            app_state_bytes,
+                        });
+                        self.metrics.recoveries_completed += 1;
+                    }
+                    self.trace.record(
+                        now,
+                        format!("{node}/recovery"),
+                        "recovery.complete",
+                        format!("{group} {app_state_bytes}B"),
+                    );
+                }
+                Out::Promoted {
+                    group,
+                    replayed,
+                    ready_after,
+                } => {
+                    self.metrics.promotions += 1;
+                    self.trace.record(
+                        now + ready_after,
+                        format!("{node}/recovery"),
+                        "promotion.complete",
+                        format!("{group} replayed={replayed}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{BlobServant, CounterServant, StreamingClient};
+
+    fn small_cluster(seed: u64) -> Cluster {
+        Cluster::new(ClusterConfig::default(), seed)
+    }
+
+    #[test]
+    fn deploys_and_streams_invocations() {
+        let mut c = small_cluster(1);
+        let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
+            Box::new(CounterServant::default())
+        });
+        c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+            Box::new(StreamingClient::new(server, "increment", 4))
+        });
+        c.run_until_deployed();
+        c.run_for(Duration::from_millis(100));
+        let m = c.metrics();
+        assert!(m.replies_delivered > 10, "replies: {}", m.replies_delivered);
+        assert!(m.duplicates_suppressed > 0, "active server duplicates replies");
+        assert!(m.mean_round_trip().is_some());
+    }
+
+    #[test]
+    fn active_recovery_round_trip() {
+        let mut c = small_cluster(2);
+        let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
+            Box::new(BlobServant::with_size(1000))
+        });
+        c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+            Box::new(StreamingClient::new(server, "touch", 2))
+        });
+        c.run_until_deployed();
+        c.run_for(Duration::from_millis(50));
+        let victim = c.hosting(server)[0];
+        c.kill_replica(server, victim);
+        c.run_for(Duration::from_millis(200));
+        let m = c.metrics();
+        assert_eq!(m.recoveries_completed, 1, "auto-recovery ran");
+        let rec = &m.recoveries[0];
+        assert!(rec.app_state_bytes > 1000, "blob state transferred");
+        assert!(rec.recovery_time() > Duration::ZERO);
+        // Traffic continued through and after recovery.
+        let replies_at_recovery = m.replies_delivered;
+        c.run_for(Duration::from_millis(100));
+        assert!(
+            c.metrics().replies_delivered > replies_at_recovery,
+            "stream still flowing"
+        );
+    }
+
+    #[test]
+    fn warm_passive_checkpoint_and_promotion() {
+        let mut c = small_cluster(3);
+        let server = c.deploy_server(
+            "counter",
+            FaultToleranceProperties::warm_passive(2)
+                .with_checkpoint_interval(Duration::from_millis(20))
+                .with_min_replicas(1),
+            || Box::new(CounterServant::default()),
+        );
+        c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+            Box::new(StreamingClient::new(server, "increment", 2))
+        });
+        c.run_until_deployed();
+        c.run_for(Duration::from_millis(100));
+        let m = c.metrics();
+        assert!(m.checkpoints_logged > 0, "periodic checkpoints taken");
+        assert!(m.messages_logged > 0, "messages logged after checkpoints");
+        // Kill the primary; a backup must take over.
+        let primary = c
+            .mechanisms(c.processors()[0])
+            .primary_host(server)
+            .expect("primary known");
+        c.kill_replica(server, primary);
+        c.run_for(Duration::from_millis(200));
+        let m = c.metrics();
+        assert_eq!(m.promotions, 1, "backup promoted");
+        let replies_before = m.replies_delivered;
+        c.run_for(Duration::from_millis(100));
+        assert!(
+            c.metrics().replies_delivered > replies_before,
+            "service continues under the new primary"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut c = small_cluster(seed);
+            let server = c.deploy_server("s", FaultToleranceProperties::active(2), || {
+                Box::new(CounterServant::default())
+            });
+            c.deploy_client("d", FaultToleranceProperties::active(1), move |_| {
+                Box::new(StreamingClient::new(server, "increment", 2))
+            });
+            c.run_until_deployed();
+            c.run_for(Duration::from_millis(50));
+            let m = c.metrics();
+            (m.replies_delivered, m.requests_dispatched)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,142 @@
+//! The Eternal **Replication Manager** and **Resource Manager**
+//! (paper §2).
+//!
+//! The Replication Manager turns fault-tolerance properties into a
+//! deployment plan — which processors host which replicas. The Resource
+//! Manager "monitors the system resources, and maintains the initial
+//! and the minimum number of replicas": after a fault it chooses where
+//! to launch a replacement.
+//!
+//! **Simplification vs the paper:** in Eternal these managers are
+//! themselves replicated CORBA objects benefiting from Eternal's own
+//! fault tolerance; here they are deterministic infrastructure
+//! components driven by the cluster (see `DESIGN.md`). The decisions
+//! they make are pure functions of totally ordered information, so
+//! replicating them would add no behaviour the experiments exercise.
+
+use eternal_sim::net::NodeId;
+
+/// Plans replica placement at deployment time.
+#[derive(Debug)]
+pub struct ReplicationManager {
+    processors: u32,
+    next: u32,
+}
+
+impl ReplicationManager {
+    /// Creates a manager for a system of `processors` processors.
+    pub fn new(processors: u32) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        ReplicationManager {
+            processors,
+            next: 0,
+        }
+    }
+
+    /// Chooses hosts for a group's replicas, spreading groups
+    /// round-robin across the system and never co-locating two replicas
+    /// of the same object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more replicas are requested than processors exist.
+    pub fn plan_hosts(&mut self, replicas: usize) -> Vec<NodeId> {
+        assert!(
+            replicas as u32 <= self.processors,
+            "cannot place {replicas} replicas on {} processors",
+            self.processors
+        );
+        let start = self.next;
+        self.next = (self.next + 1) % self.processors;
+        (0..replicas as u32)
+            .map(|i| NodeId((start + i) % self.processors))
+            .collect()
+    }
+}
+
+/// Chooses replacement hosts after failures.
+#[derive(Debug, Default)]
+pub struct ResourceManager;
+
+impl ResourceManager {
+    /// Picks where to launch a replacement replica: prefer a designated
+    /// host that is alive and currently has no replica (typically the
+    /// failed replica's own processor, restarted), then any other alive
+    /// processor without one.
+    pub fn choose_replacement(
+        &self,
+        designated: &[NodeId],
+        hosting: &[NodeId],
+        alive: &[NodeId],
+    ) -> Option<NodeId> {
+        designated
+            .iter()
+            .copied()
+            .find(|h| alive.contains(h) && !hosting.contains(h))
+            .or_else(|| {
+                alive
+                    .iter()
+                    .copied()
+                    .find(|h| !hosting.contains(h) && !designated.contains(h))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn plan_spreads_and_never_colocates() {
+        let mut rm = ReplicationManager::new(4);
+        let a = rm.plan_hosts(3);
+        assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "no co-location");
+        let b = rm.plan_hosts(3);
+        assert_ne!(a[0], b[0], "successive groups start on different processors");
+    }
+
+    #[test]
+    fn plan_wraps_around() {
+        let mut rm = ReplicationManager::new(3);
+        rm.plan_hosts(1);
+        rm.plan_hosts(1);
+        rm.plan_hosts(1);
+        assert_eq!(rm.plan_hosts(1), vec![n(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_replicas_rejected() {
+        ReplicationManager::new(2).plan_hosts(3);
+    }
+
+    #[test]
+    fn replacement_prefers_designated_host() {
+        let rm = ResourceManager;
+        // Replica on P2 died; P2 is alive again and empty → reuse it.
+        let choice = rm.choose_replacement(&[n(1), n(2)], &[n(1)], &[n(0), n(1), n(2)]);
+        assert_eq!(choice, Some(n(2)));
+    }
+
+    #[test]
+    fn replacement_falls_back_to_spare() {
+        let rm = ResourceManager;
+        // Designated host P2 is dead → use the spare P0.
+        let choice = rm.choose_replacement(&[n(1), n(2)], &[n(1)], &[n(0), n(1)]);
+        assert_eq!(choice, Some(n(0)));
+    }
+
+    #[test]
+    fn replacement_none_when_saturated() {
+        let rm = ResourceManager;
+        let choice = rm.choose_replacement(&[n(0), n(1)], &[n(0), n(1)], &[n(0), n(1)]);
+        assert_eq!(choice, None);
+    }
+}

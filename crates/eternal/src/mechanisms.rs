@@ -1,0 +1,1675 @@
+//! The per-processor **Replication Mechanisms + Recovery Mechanisms**
+//! (paper §2): the component that receives every totally ordered
+//! Eternal message, suppresses duplicates, routes IIOP traffic into the
+//! local ORB's connections, maintains checkpoint/message logs, and runs
+//! the §5.1 state-transfer protocol for replicas hosted here.
+//!
+//! The mechanisms are sans-io like everything else: the cluster driver
+//! feeds them ordered messages and collects [`Out`] actions (multicasts
+//! to issue, recovery-completion notifications). One instance exists per
+//! processor, below the ORB and above Totem.
+//!
+//! ### Modelling notes (vs the paper)
+//!
+//! * Replica execution is instantaneous in virtual time, but every
+//!   reply/assignment a replica produces is multicast after a
+//!   configurable execution delay, which models invocation processing
+//!   cost. Consequently replicas are always quiescent at delivery
+//!   points, and the paper's quiescence machinery (§5, "outside the
+//!   scope of this paper") reduces to the holding-queue discipline that
+//!   *is* implemented: a recovering replica drops pre-synchronization
+//!   traffic, enqueues post-synchronization traffic, and drains the
+//!   queue after state assignment.
+//! * `get_state`/`set_state` for *server* objects are dispatched through
+//!   the POA (the FT-CORBA `Checkpointable` path); the fabricated
+//!   invocations travel as [`EternalMessage`] control messages rather
+//!   than consuming GIOP request ids on application connections, which
+//!   matches Eternal's use of its own connections for its own traffic.
+
+use crate::app::{AppInvocation, ClientApp};
+use crate::gid::{ConnectionName, Direction, GroupId, OperationId, TransferId};
+use crate::interceptor::Interceptor;
+use crate::message::{EternalMessage, RetrievalPurpose};
+use crate::properties::{FaultToleranceProperties, ReplicationStyle};
+use crate::recovery::holding::{HeldEntry, HoldingQueue};
+use crate::recovery::state3::{
+    InfraStateTransfer, OrbPoaStateTransfer, OutstandingCall, ThreeKindsOfState,
+};
+use crate::recovery::{CheckpointLog, DuplicateSuppressor, OrbStateObserver, QuiescenceTracker};
+use eternal_cdr::Any;
+use eternal_giop::GiopMessage;
+use eternal_orb::servant::CheckpointableServant;
+use eternal_orb::{ObjectKey, Orb};
+use eternal_sim::net::NodeId;
+use eternal_sim::{Duration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Something the mechanisms ask their driver to do.
+#[derive(Debug)]
+pub enum Out {
+    /// Multicast `message` through Totem after `delay` of local
+    /// processing time.
+    Multicast {
+        /// Local processing delay before the message leaves.
+        delay: Duration,
+        /// The message.
+        message: EternalMessage,
+    },
+    /// A reply was delivered into a local client application.
+    ReplyDelivered {
+        /// The logical connection.
+        conn: ConnectionName,
+        /// The operation's Eternal id.
+        op_seq: u32,
+    },
+    /// A §5.1 state transfer completed and the local replica is
+    /// operational.
+    RecoveryComplete {
+        /// The recovered group.
+        group: GroupId,
+        /// Application-level state size transferred.
+        app_state_bytes: usize,
+    },
+    /// A passive backup hosted here was promoted to primary.
+    Promoted {
+        /// The group.
+        group: GroupId,
+        /// Messages replayed from the log suffix.
+        replayed: usize,
+        /// Time until the new primary is serving: cold promotions pay a
+        /// process launch + checkpoint load, warm ones only the replay.
+        ready_after: Duration,
+    },
+}
+
+/// What a local replica is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPhase {
+    /// Processing normal traffic.
+    Operational,
+    /// Loaded as a warm backup: receives checkpoints, not traffic.
+    Standby,
+    /// Launched for recovery; normal traffic is *dropped* until the
+    /// `get_state` synchronization point is seen (its effects are in the
+    /// transferred state).
+    AwaitingSync,
+    /// Synchronization point seen; normal traffic is enqueued for
+    /// delivery after state assignment (§5.1 steps i–v).
+    Enqueueing,
+}
+
+/// How the group's object behaves.
+pub enum GroupKind {
+    /// A server object (servant registered in the local POA when a
+    /// replica is hosted here).
+    Server(Box<dyn Fn() -> Box<dyn CheckpointableServant> + Send>),
+    /// A client object (deterministic event-driven application).
+    Client(Box<dyn Fn(GroupId) -> Box<dyn ClientApp> + Send>),
+}
+
+impl std::fmt::Debug for GroupKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupKind::Server(_) => write!(f, "Server"),
+            GroupKind::Client(_) => write!(f, "Client"),
+        }
+    }
+}
+
+/// Deployment-wide description of one object group, registered on every
+/// processor.
+#[derive(Debug)]
+pub struct GroupMeta {
+    /// The group id.
+    pub id: GroupId,
+    /// Human-readable name.
+    pub name: String,
+    /// Fault-tolerance properties.
+    pub props: FaultToleranceProperties,
+    /// Processors designated to host replicas (first entry is the
+    /// initial primary for passive styles).
+    pub hosts: Vec<NodeId>,
+    /// Server or client behaviour.
+    pub kind: GroupKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HeldIiop {
+    conn: ConnectionName,
+    direction: Direction,
+    op_seq: u32,
+    bytes: Vec<u8>,
+}
+
+struct LocalReplica {
+    phase: ReplicaPhase,
+    /// Client behaviour instance (servers live in the ORB's POA).
+    client_app: Option<Box<dyn ClientApp>>,
+    holding: HoldingQueue<HeldIiop>,
+    /// Quiescence bookkeeping (paper §5): oneway settling windows.
+    quiesce: QuiescenceTracker,
+}
+
+impl std::fmt::Debug for LocalReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalReplica")
+            .field("phase", &self.phase)
+            .field("holding", &self.holding.len())
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct LocalGroup {
+    meta: GroupMeta,
+    replica: Option<LocalReplica>,
+    /// Hosts currently holding replicas able to serve state (active
+    /// replicas, or the primary). Maintained identically on every
+    /// processor from the totally ordered event stream.
+    operational_hosts: BTreeSet<NodeId>,
+    /// Hosts currently holding standby (warm backup) replicas.
+    standby_hosts: BTreeSet<NodeId>,
+    /// Checkpoint + message log (passive styles; also used to recover a
+    /// primary after total group loss).
+    log: CheckpointLog,
+    /// Invocations this (client-role) group awaits responses for.
+    outstanding: BTreeMap<(ConnectionName, u32), OutstandingCall>,
+}
+
+impl LocalGroup {
+    fn is_primary_style(&self) -> bool {
+        self.meta.props.style.logs_checkpoints()
+    }
+
+    fn primary_host(&self) -> Option<NodeId> {
+        if self.is_primary_style() {
+            self.operational_hosts.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-processor counters (aggregated by the cluster into
+/// [`crate::metrics::Metrics`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MechCounters {
+    /// Requests dispatched into local server replicas.
+    pub requests_dispatched: u64,
+    /// Replies delivered to local client applications.
+    pub replies_delivered: u64,
+    /// Duplicates suppressed.
+    pub duplicates_suppressed: u64,
+    /// Replies the local ORB discarded on request-id mismatch (§4.2.1).
+    pub replies_discarded_by_orb: u64,
+    /// Requests discarded for missing handshake state (§4.2.2).
+    pub requests_discarded_unnegotiated: u64,
+    /// Checkpoints recorded locally.
+    pub checkpoints_logged: u64,
+    /// Messages appended to local logs.
+    pub messages_logged: u64,
+    /// Messages dropped at a recovering replica before its sync point.
+    pub dropped_pre_sync: u64,
+    /// Messages enqueued at recovering replicas.
+    pub enqueued_during_recovery: u64,
+}
+
+/// Configuration knobs of the mechanisms.
+#[derive(Debug, Clone)]
+pub struct MechConfig {
+    /// Modeled execution time of one invocation at a replica.
+    pub exec_time: Duration,
+    /// Modeled cost of launching a cold-passive replica and loading the
+    /// checkpoint into it at promotion time (§3.3: "launch the new
+    /// primary replica before providing it with the primary's last
+    /// checkpoint").
+    pub cold_load_time: Duration,
+    /// Disable ORB/POA-level state transfer (ablation A1/A2: reproduces
+    /// the paper's §4.2 failure modes).
+    pub transfer_orb_state: bool,
+    /// Disable infrastructure-level state transfer (ablation).
+    pub transfer_infra_state: bool,
+}
+
+impl Default for MechConfig {
+    fn default() -> Self {
+        MechConfig {
+            exec_time: Duration::from_micros(50),
+            cold_load_time: Duration::from_millis(2),
+            transfer_orb_state: true,
+            transfer_infra_state: true,
+        }
+    }
+}
+
+/// The Eternal mechanisms of one processor.
+pub struct Mechanisms {
+    node: NodeId,
+    config: MechConfig,
+    orb: Orb,
+    interceptor: Interceptor,
+    observer: OrbStateObserver,
+    dedup: DuplicateSuppressor,
+    groups: BTreeMap<GroupId, LocalGroup>,
+    client_conns: HashMap<ConnectionName, u64>,
+    server_conns: HashMap<ConnectionName, u64>,
+    seen_transfers: HashSet<TransferId>,
+    /// Log position of each in-flight checkpoint capture: messages
+    /// logged after the `get_state` point must survive the checkpoint's
+    /// garbage collection (their effects are not in the captured state).
+    checkpoint_marks: HashMap<(GroupId, TransferId), u64>,
+    next_transfer_seq: u64,
+    counters: MechCounters,
+}
+
+impl std::fmt::Debug for Mechanisms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mechanisms")
+            .field("node", &self.node)
+            .field("groups", &self.groups.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Mechanisms {
+    /// Creates the mechanisms for `node`.
+    pub fn new(node: NodeId, config: MechConfig) -> Self {
+        Mechanisms {
+            node,
+            config,
+            orb: Orb::new(format!("P{}", node.0)),
+            interceptor: Interceptor::new(),
+            observer: OrbStateObserver::new(),
+            dedup: DuplicateSuppressor::new(),
+            groups: BTreeMap::new(),
+            client_conns: HashMap::new(),
+            server_conns: HashMap::new(),
+            seen_transfers: HashSet::new(),
+            checkpoint_marks: HashMap::new(),
+            next_transfer_seq: 0,
+            counters: MechCounters::default(),
+        }
+    }
+
+    /// The processor this instance runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Local counters.
+    pub fn counters(&self) -> MechCounters {
+        self.counters
+    }
+
+    /// Duplicates suppressed (from the suppressor itself).
+    pub fn suppressed(&self) -> u64 {
+        self.dedup.suppressed_count()
+    }
+
+    /// Access to the local ORB (tests compare ORB ground truth against
+    /// transferred state).
+    pub fn orb(&self) -> &Orb {
+        &self.orb
+    }
+
+    /// The deterministic object key of a group's object.
+    pub fn group_key(group: GroupId) -> ObjectKey {
+        ObjectKey::new(format!("group/{}", group.0).into_bytes())
+    }
+
+    /// Registers a group's deployment-wide metadata (on every
+    /// processor, whether or not it hosts a replica).
+    pub fn register_group(&mut self, meta: GroupMeta) {
+        let hosts: BTreeSet<NodeId> = match meta.props.style {
+            ReplicationStyle::Active => meta.hosts.iter().copied().collect(),
+            // Passive: only the initial primary is operational.
+            ReplicationStyle::WarmPassive | ReplicationStyle::ColdPassive => {
+                meta.hosts.first().copied().into_iter().collect()
+            }
+        };
+        let standby: BTreeSet<NodeId> = match meta.props.style {
+            ReplicationStyle::WarmPassive => meta.hosts.iter().skip(1).copied().collect(),
+            _ => BTreeSet::new(),
+        };
+        let group = meta.id;
+        self.groups.insert(
+            group,
+            LocalGroup {
+                meta,
+                replica: None,
+                operational_hosts: hosts,
+                standby_hosts: standby,
+                log: CheckpointLog::new(),
+                outstanding: BTreeMap::new(),
+            },
+        );
+    }
+
+    /// Instantiates the locally hosted replica at deployment time.
+    /// No state transfer: all initial replicas start identical.
+    pub fn deploy_local_replica(&mut self, group: GroupId) {
+        let node = self.node;
+        let lg = self.groups.get_mut(&group).expect("group registered");
+        let style = lg.meta.props.style;
+        let is_initial_primary = lg.meta.hosts.first() == Some(&node);
+        let phase = match style {
+            ReplicationStyle::Active => ReplicaPhase::Operational,
+            ReplicationStyle::WarmPassive => {
+                if is_initial_primary {
+                    ReplicaPhase::Operational
+                } else {
+                    ReplicaPhase::Standby
+                }
+            }
+            ReplicationStyle::ColdPassive => {
+                if is_initial_primary {
+                    ReplicaPhase::Operational
+                } else {
+                    // Cold backups are not instantiated.
+                    return;
+                }
+            }
+        };
+        self.instantiate_replica(group, phase);
+    }
+
+    fn instantiate_replica(&mut self, group: GroupId, phase: ReplicaPhase) {
+        let lg = self.groups.get_mut(&group).expect("group registered");
+        let client_app = match &lg.meta.kind {
+            GroupKind::Server(factory) => {
+                let servant = factory();
+                self.orb
+                    .poa_mut()
+                    .activate_checkpointable(Self::group_key(group), servant);
+                None
+            }
+            GroupKind::Client(factory) => Some(factory(group)),
+        };
+        lg.replica = Some(LocalReplica {
+            phase,
+            client_app,
+            holding: HoldingQueue::new(),
+            quiesce: QuiescenceTracker::new(self.config.exec_time),
+        });
+    }
+
+    /// Replaces the group's object implementation for *future* replica
+    /// instantiations on this processor (the Evolution Manager's lever:
+    /// upgrades ride the normal recovery path, §2).
+    pub fn replace_group_kind(&mut self, group: GroupId, kind: GroupKind) {
+        if let Some(lg) = self.groups.get_mut(&group) {
+            lg.meta.kind = kind;
+        }
+    }
+
+    /// Whether a replica of `group` is hosted here, and its phase.
+    pub fn replica_phase(&self, group: GroupId) -> Option<ReplicaPhase> {
+        self.groups
+            .get(&group)
+            .and_then(|lg| lg.replica.as_ref())
+            .map(|r| r.phase)
+    }
+
+    /// The host currently designated primary for a passive group (as
+    /// seen from this processor's consistent view).
+    pub fn primary_host(&self, group: GroupId) -> Option<NodeId> {
+        self.groups.get(&group).and_then(|lg| lg.primary_host())
+    }
+
+    /// Hosts with state-serving replicas, from this processor's view.
+    pub fn operational_hosts(&self, group: GroupId) -> Vec<NodeId> {
+        self.groups
+            .get(&group)
+            .map(|lg| lg.operational_hosts.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Log length (suffix) of the group's local checkpoint log.
+    pub fn log_suffix_len(&self, group: GroupId) -> usize {
+        self.groups.get(&group).map(|lg| lg.log.suffix_len()).unwrap_or(0)
+    }
+
+    /// Quiescence deferrals recorded for the group's local replica
+    /// (how many state captures had to wait out a oneway window, §5).
+    pub fn quiescence_deferrals(&self, group: GroupId) -> u64 {
+        self.groups
+            .get(&group)
+            .and_then(|lg| lg.replica.as_ref())
+            .map(|r| r.quiesce.deferrals())
+            .unwrap_or(0)
+    }
+
+    /// Total checkpoints logged locally for the group.
+    pub fn checkpoints_taken(&self, group: GroupId) -> u64 {
+        self.groups
+            .get(&group)
+            .map(|lg| lg.log.checkpoints_taken())
+            .unwrap_or(0)
+    }
+
+    /// Starts locally hosted client replicas (deployment time): runs
+    /// `on_start` and issues the resulting invocations.
+    pub fn start_clients(&mut self) -> Vec<Out> {
+        let mut outs = Vec::new();
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            let lg = self.groups.get_mut(&group).expect("listed");
+            let Some(replica) = lg.replica.as_mut() else { continue };
+            if replica.phase != ReplicaPhase::Operational {
+                continue;
+            }
+            let Some(app) = replica.client_app.as_mut() else { continue };
+            let invocations = app.on_start();
+            outs.extend(self.issue_invocations(group, invocations));
+        }
+        outs
+    }
+
+    // ================================================================
+    // Outgoing path: client invocations through the ORB + interceptor
+    // ================================================================
+
+    fn issue_invocations(&mut self, group: GroupId, invocations: Vec<AppInvocation>) -> Vec<Out> {
+        let mut outs = Vec::new();
+        for inv in invocations {
+            let conn = ConnectionName {
+                client: group,
+                server: inv.server,
+            };
+            let conn_id = match self.client_conns.get(&conn) {
+                Some(&id) => id,
+                None => {
+                    let id = self.orb.open_client_connection();
+                    self.client_conns.insert(conn, id);
+                    id
+                }
+            };
+            let key = Self::group_key(inv.server);
+            let (request_id, bytes) = self
+                .orb
+                .invoke(conn_id, &key, &inv.operation, &inv.args, inv.response_expected)
+                .expect("connection exists");
+            // The interceptor sees what the ORB tried to write to its
+            // socket; the observer learns the ORB state from it.
+            self.observer.observe_request(conn, &bytes);
+            let message = self.interceptor.capture_request(conn, bytes);
+            let op_seq = match &message {
+                EternalMessage::Iiop { op_seq, .. } => *op_seq,
+                _ => unreachable!("capture_request returns Iiop"),
+            };
+            if inv.response_expected {
+                let lg = self.groups.get_mut(&group).expect("group registered");
+                lg.outstanding.insert(
+                    (conn, op_seq),
+                    OutstandingCall {
+                        conn,
+                        op_seq,
+                        request_id,
+                        operation: inv.operation.clone(),
+                    },
+                );
+            }
+            outs.push(Out::Multicast {
+                delay: Duration::ZERO,
+                message,
+            });
+        }
+        outs
+    }
+
+    // ================================================================
+    // Incoming path: totally ordered Eternal messages
+    // ================================================================
+
+    /// Handles one totally ordered message. `now` is the delivery time.
+    pub fn on_delivered(&mut self, message: EternalMessage, now: SimTime) -> Vec<Out> {
+        match message {
+            EternalMessage::Iiop {
+                conn,
+                direction,
+                op_seq,
+                bytes,
+            } => self.on_iiop(conn, direction, op_seq, bytes, now),
+            EternalMessage::ReplicaJoining { group, host } => self.on_joining(group, host),
+            EternalMessage::ReplicaFault { group, host } => self.on_fault(group, host),
+            EternalMessage::StateRetrieval {
+                group,
+                transfer,
+                purpose,
+            } => self.on_retrieval(group, transfer, purpose, now),
+            EternalMessage::StateAssignment {
+                transfer,
+                purpose,
+                state,
+            } => self.on_assignment(transfer, purpose, state, now),
+        }
+    }
+
+    fn on_iiop(
+        &mut self,
+        conn: ConnectionName,
+        direction: Direction,
+        op_seq: u32,
+        bytes: Vec<u8>,
+        now: SimTime,
+    ) -> Vec<Out> {
+        let op = OperationId {
+            conn,
+            direction,
+            request_id: op_seq,
+        };
+        if !self.dedup.admit(op) {
+            self.counters.duplicates_suppressed += 1;
+            return Vec::new();
+        }
+        if direction == Direction::Request {
+            // Learn ORB/POA-level state by parsing (§4.2): request ids
+            // and the stored handshake for later replay.
+            self.observer.observe_request(conn, &bytes);
+        }
+        let mut outs = Vec::new();
+        let target_group = match direction {
+            Direction::Request => conn.server,
+            Direction::Reply => conn.client,
+        };
+        let held = HeldIiop {
+            conn,
+            direction,
+            op_seq,
+            bytes,
+        };
+        let to_deliver = {
+            let Some(lg) = self.groups.get_mut(&target_group) else {
+                return outs;
+            };
+            // §3.3: passive groups log the ordered messages that follow
+            // the checkpoint, at every processor participating in the
+            // group. The tag encodes (client group, op id) so a replay
+            // can reconstruct the logical connection.
+            if lg.meta.props.style.logs_checkpoints() && lg.meta.hosts.contains(&self.node) {
+                let tag = ((conn.client.0 as u64) << 32) | op_seq as u64;
+                lg.log.log_message(tag, held.bytes.clone());
+                self.counters.messages_logged += 1;
+            }
+            if direction == Direction::Reply {
+                // The group-level outstanding table shrinks at *every*
+                // host of the client group, deterministically.
+                lg.outstanding.remove(&(conn, op_seq));
+            }
+            match lg.replica.as_mut() {
+                None => None,
+                Some(replica) => match replica.phase {
+                    ReplicaPhase::Operational => Some(held),
+                    ReplicaPhase::Standby => None, // warm backups take no traffic
+                    ReplicaPhase::AwaitingSync => {
+                        // Pre-synchronization traffic: its effects will
+                        // arrive inside the transferred state (§5.1
+                        // step i starts enqueueing only at get_state).
+                        self.counters.dropped_pre_sync += 1;
+                        None
+                    }
+                    ReplicaPhase::Enqueueing => {
+                        replica.holding.hold(held);
+                        self.counters.enqueued_during_recovery += 1;
+                        None
+                    }
+                },
+            }
+        };
+        if let Some(held) = to_deliver {
+            outs.extend(self.deliver_to_replica(target_group, held, now));
+        }
+        outs
+    }
+
+    /// Delivers one admitted IIOP message into the local operational
+    /// replica of `group`.
+    fn deliver_to_replica(&mut self, group: GroupId, held: HeldIiop, now: SimTime) -> Vec<Out> {
+        match held.direction {
+            Direction::Request => self.deliver_request(group, held, now),
+            Direction::Reply => self.deliver_reply(group, held),
+        }
+    }
+
+    fn deliver_request(&mut self, group: GroupId, held: HeldIiop, now: SimTime) -> Vec<Out> {
+        let conn_id = match self.server_conns.get(&held.conn) {
+            Some(&id) => id,
+            None => {
+                let id = self.orb.accept_server_connection();
+                self.server_conns.insert(held.conn, id);
+                id
+            }
+        };
+        let mut outs = Vec::new();
+        match self.orb.handle_request_disposed(conn_id, &held.bytes) {
+            Ok((maybe_reply, disposition)) => {
+                use eternal_orb::RequestDisposition;
+                match disposition {
+                    RequestDisposition::Dispatched => {
+                        self.counters.requests_dispatched += 1;
+                        if maybe_reply.is_none() {
+                            // A oneway: no reply will ever signal its
+                            // completion, so the object is considered
+                            // non-quiescent for the execution window
+                            // (paper §5).
+                            if let Some(replica) = self
+                                .groups
+                                .get_mut(&group)
+                                .and_then(|lg| lg.replica.as_mut())
+                            {
+                                replica.quiesce.oneway_dispatched(now);
+                            }
+                        }
+                        if let Some(reply_bytes) = maybe_reply {
+                            let message = self.interceptor.capture_reply(
+                                held.conn,
+                                held.op_seq,
+                                reply_bytes,
+                            );
+                            outs.push(Out::Multicast {
+                                delay: self.config.exec_time,
+                                message,
+                            });
+                        }
+                    }
+                    RequestDisposition::DiscardedUnnegotiated => {
+                        // §4.2.2 failure mode: the server ORB cannot
+                        // interpret negotiated shortcuts it never saw.
+                        self.counters.requests_discarded_unnegotiated += 1;
+                    }
+                }
+            }
+            Err(_) => { /* unparseable request; real ORBs send MessageError */ }
+        }
+        outs
+    }
+
+    fn deliver_reply(&mut self, group: GroupId, held: HeldIiop) -> Vec<Out> {
+        let Some(&conn_id) = self.client_conns.get(&held.conn) else {
+            // We never issued on this connection (e.g. a recovered
+            // replica without restored ORB state): the reply has nowhere
+            // to go. A real ORB without the matching socket simply never
+            // sees it.
+            self.counters.replies_discarded_by_orb += 1;
+            return Vec::new();
+        };
+        match self.orb.handle_reply(conn_id, &held.bytes) {
+            Ok(outcome) => {
+                self.counters.replies_delivered += 1;
+                let mut outs = vec![Out::ReplyDelivered {
+                    conn: held.conn,
+                    op_seq: held.op_seq,
+                }];
+                let follow_ups = {
+                    let lg = self
+                        .groups
+                        .get_mut(&group)
+                        .expect("delivering to local group");
+                    match lg.replica.as_mut().and_then(|r| r.client_app.as_mut()) {
+                        Some(app) => app.on_reply(
+                            held.conn.server,
+                            &outcome.operation,
+                            outcome.status,
+                            &outcome.body,
+                        ),
+                        None => Vec::new(),
+                    }
+                };
+                outs.extend(self.issue_invocations(group, follow_ups));
+                outs
+            }
+            Err(_) => {
+                // §4.2.1 failure mode: request-id mismatch → the ORB
+                // discards an otherwise valid reply.
+                self.counters.replies_discarded_by_orb += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    // ================================================================
+    // Recovery protocol (§5.1) and fault handling
+    // ================================================================
+
+    /// Launches a recovering replica of `group` on this processor and
+    /// announces it. The replica drops traffic until its `get_state`
+    /// synchronization point appears in the total order.
+    pub fn launch_recovering_replica(&mut self, group: GroupId) -> Vec<Out> {
+        self.instantiate_replica(group, ReplicaPhase::AwaitingSync);
+        vec![Out::Multicast {
+            delay: Duration::ZERO,
+            message: EternalMessage::ReplicaJoining {
+                group,
+                host: self.node,
+            },
+        }]
+    }
+
+    /// Kills the locally hosted replica (process death). The local
+    /// fault detector reports it; the multicast carries the detection.
+    ///
+    /// The replica's ORB dies with its process, so all connection-level
+    /// ORB state for the group's connections is lost here — request-id
+    /// counters, negotiated handshakes, pending-reply tables. What
+    /// survives is the *mechanisms'* knowledge (the observer's stored
+    /// handshakes and learned counters, the logs, the dedup horizons):
+    /// exactly the split the paper's three-kinds-of-state analysis
+    /// rests on.
+    pub fn kill_local_replica(&mut self, group: GroupId) -> Vec<Out> {
+        let lg = self.groups.get_mut(&group).expect("group registered");
+        if lg.replica.take().is_some() {
+            if matches!(lg.meta.kind, GroupKind::Server(_)) {
+                self.orb.poa_mut().deactivate(&Self::group_key(group));
+            }
+            self.client_conns.retain(|c, _| c.client != group);
+            self.server_conns.retain(|c, _| c.server != group);
+            vec![Out::Multicast {
+                delay: Duration::ZERO,
+                message: EternalMessage::ReplicaFault {
+                    group,
+                    host: self.node,
+                },
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_joining(&mut self, group: GroupId, host: NodeId) -> Vec<Out> {
+        let Some(lg) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        // The lowest-id processor hosting a state-serving replica
+        // fabricates the get_state — a deterministic choice every
+        // processor evaluates identically.
+        let issuer = lg
+            .operational_hosts
+            .iter()
+            .copied()
+            .find(|&h| h != host);
+        if issuer != Some(self.node) {
+            return Vec::new();
+        }
+        let transfer = TransferId(((self.node.0 as u64) << 32) | self.next_transfer_seq);
+        self.next_transfer_seq += 1;
+        vec![Out::Multicast {
+            delay: Duration::ZERO,
+            message: EternalMessage::StateRetrieval {
+                group,
+                transfer,
+                purpose: RetrievalPurpose::Recovery { new_host: host },
+            },
+        }]
+    }
+
+    /// Fabricates the periodic checkpoint `get_state` if this processor
+    /// currently hosts the primary (driver calls this on checkpoint
+    /// ticks).
+    pub fn checkpoint_due(&mut self, group: GroupId) -> Vec<Out> {
+        let Some(lg) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        if !lg.meta.props.style.logs_checkpoints() || lg.primary_host() != Some(self.node) {
+            return Vec::new();
+        }
+        let transfer = TransferId(((self.node.0 as u64) << 32) | self.next_transfer_seq);
+        self.next_transfer_seq += 1;
+        vec![Out::Multicast {
+            delay: Duration::ZERO,
+            message: EternalMessage::StateRetrieval {
+                group,
+                transfer,
+                purpose: RetrievalPurpose::Checkpoint,
+            },
+        }]
+    }
+
+    fn on_retrieval(
+        &mut self,
+        group: GroupId,
+        transfer: TransferId,
+        purpose: RetrievalPurpose,
+        now: SimTime,
+    ) -> Vec<Out> {
+        let Some(lg) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        let mut outs = Vec::new();
+        // Existing replicas with current state perform get_state — at
+        // quiescence (§5): if the object is settling a oneway, the
+        // capture waits out the remaining window (state effects applied
+        // at dispatch in this model, so the capture content is already
+        // consistent; only its timing shifts).
+        let serves_state = lg.operational_hosts.contains(&self.node)
+            && lg
+                .replica
+                .as_ref()
+                .is_some_and(|r| r.phase == ReplicaPhase::Operational);
+        if serves_state {
+            let wait = {
+                let replica = lg.replica.as_mut().expect("checked above");
+                let wait = replica
+                    .quiesce
+                    .earliest_quiescence(now)
+                    .map(|t| t.saturating_since(now))
+                    .unwrap_or(Duration::ZERO);
+                if !wait.is_zero() {
+                    replica.quiesce.record_deferral();
+                }
+                wait
+            };
+            let state = self.capture_three_kinds(group);
+            outs.push(Out::Multicast {
+                delay: self.config.exec_time + wait,
+                message: EternalMessage::StateAssignment {
+                    transfer,
+                    purpose,
+                    state,
+                },
+            });
+        }
+        // Checkpoint retrievals: every logging host records the log
+        // position of the capture point, so the eventual assignment
+        // garbage-collects exactly the messages the checkpoint covers.
+        if purpose == RetrievalPurpose::Checkpoint {
+            if let Some(lg) = self.groups.get(&group) {
+                if lg.meta.props.style.logs_checkpoints() && lg.meta.hosts.contains(&self.node) {
+                    let mark = lg.log.mark();
+                    self.checkpoint_marks.insert((group, transfer), mark);
+                }
+            }
+        }
+        // The recovering replica marks the synchronization point and
+        // starts enqueueing (§5.1 step i).
+        if let RetrievalPurpose::Recovery { new_host } = purpose {
+            if new_host == self.node {
+                if let Some(lg) = self.groups.get_mut(&group) {
+                    if let Some(replica) = lg.replica.as_mut() {
+                        if replica.phase == ReplicaPhase::AwaitingSync {
+                            replica.phase = ReplicaPhase::Enqueueing;
+                            replica.holding.mark_sync_point(transfer);
+                        }
+                    }
+                }
+            }
+        }
+        outs
+    }
+
+    /// Captures the three kinds of state of the locally hosted,
+    /// operational replica of `group` (§4, §5.1 step iii).
+    fn capture_three_kinds(&mut self, group: GroupId) -> ThreeKindsOfState {
+        // Application-level state, via the Checkpointable interface.
+        let key = Self::group_key(group);
+        let is_server = matches!(
+            self.groups.get(&group).expect("caller verified").meta.kind,
+            GroupKind::Server(_)
+        );
+        let application = if is_server {
+            self.orb
+                .poa_mut()
+                .dispatch(&key, "get_state", &[])
+                .expect("operational replica has state")
+        } else {
+            let lg = self.groups.get_mut(&group).expect("caller verified");
+            let app = lg
+                .replica
+                .as_mut()
+                .and_then(|r| r.client_app.as_mut())
+                .expect("client replica present");
+            app.get_state().to_bytes().expect("client state encodes")
+        };
+        // ORB/POA-level state: learned by observation, not ORB hooks.
+        let orb_poa = if self.config.transfer_orb_state {
+            OrbPoaStateTransfer {
+                next_request_ids: self.observer.next_request_ids(|c| c.client == group),
+                handshakes: self.observer.handshakes(|c| c.server == group),
+            }
+        } else {
+            OrbPoaStateTransfer::default()
+        };
+        // Infrastructure-level state.
+        let infrastructure = if self.config.transfer_infra_state {
+            let lg = self.groups.get(&group).expect("caller verified");
+            InfraStateTransfer {
+                outstanding: lg.outstanding.values().cloned().collect(),
+                dedup_horizons: self
+                    .dedup
+                    .horizons()
+                    .into_iter()
+                    .filter(|(c, _, _)| c.client == group || c.server == group)
+                    .collect(),
+                op_counters: self
+                    .interceptor
+                    .op_counters()
+                    .into_iter()
+                    .filter(|(c, _)| c.client == group)
+                    .collect(),
+            }
+        } else {
+            InfraStateTransfer::default()
+        };
+        ThreeKindsOfState {
+            group,
+            application,
+            orb_poa,
+            infrastructure,
+        }
+    }
+
+    fn on_assignment(
+        &mut self,
+        transfer: TransferId,
+        purpose: RetrievalPurpose,
+        state: ThreeKindsOfState,
+        now: SimTime,
+    ) -> Vec<Out> {
+        let _ = now;
+        // Duplicate assignments (one per operational replica under
+        // active replication) collapse to the first in the total order.
+        if !self.seen_transfers.insert(transfer) {
+            return Vec::new();
+        }
+        let group = state.group;
+        let Some(lg) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        match purpose {
+            RetrievalPurpose::Checkpoint => {
+                if lg.meta.props.style.logs_checkpoints() && lg.meta.hosts.contains(&self.node) {
+                    let mark = self
+                        .checkpoint_marks
+                        .remove(&(group, transfer))
+                        .unwrap_or_else(|| lg.log.mark());
+                    lg.log.record_checkpoint_at_mark(state.to_bytes(), now, mark);
+                    self.counters.checkpoints_logged += 1;
+                }
+                // Warm backups are synchronized to the primary's
+                // checkpoint as it is taken (§3.2).
+                let is_standby = lg
+                    .replica
+                    .as_ref()
+                    .is_some_and(|r| r.phase == ReplicaPhase::Standby);
+                if is_standby {
+                    self.apply_application_state(group, &state.application);
+                }
+                Vec::new()
+            }
+            RetrievalPurpose::Recovery { new_host } => {
+                // Every processor updates its consistent view at this
+                // total-order point: an active group's recovered replica
+                // serves state; a passive group's becomes a standby
+                // backup (the primary is unchanged).
+                if lg.meta.props.style == ReplicationStyle::Active {
+                    lg.operational_hosts.insert(new_host);
+                } else {
+                    lg.standby_hosts.insert(new_host);
+                }
+                if new_host != self.node {
+                    // §5.1 step vi: at existing replicas the set_state is
+                    // discarded once it reaches the queue head.
+                    return Vec::new();
+                }
+                self.complete_recovery(group, transfer, state, now)
+            }
+        }
+    }
+
+    /// §5.1 steps v–vi at the recovering replica: overwrite the sync
+    /// point with the assignment, apply the three kinds of state in
+    /// order (application, ORB/POA, infrastructure), then dequeue and
+    /// deliver the held messages.
+    fn complete_recovery(
+        &mut self,
+        group: GroupId,
+        transfer: TransferId,
+        state: ThreeKindsOfState,
+        now: SimTime,
+    ) -> Vec<Out> {
+        let app_state_bytes = state.application.len();
+        {
+            let lg = self.groups.get_mut(&group).expect("checked by caller");
+            let Some(replica) = lg.replica.as_mut() else {
+                return Vec::new();
+            };
+            if replica.phase != ReplicaPhase::Enqueueing {
+                return Vec::new(); // stale transfer
+            }
+            if !replica
+                .holding
+                .overwrite_sync_point(transfer, state.to_bytes().into_boxed_slice())
+            {
+                return Vec::new();
+            }
+        }
+
+        // Apply in the paper's order (§4.3): application first, then
+        // ORB/POA, then infrastructure.
+        self.apply_application_state(group, &state.application);
+        self.apply_orb_poa_state(group, &state.orb_poa);
+        self.apply_infra_state(group, &state.infrastructure);
+
+        // An active group's recovered replica processes traffic; a
+        // passive group's becomes a warm standby behind the primary.
+        let final_phase = {
+            let lg = self.groups.get(&group).expect("checked by caller");
+            if lg.meta.props.style == ReplicationStyle::Active
+                || lg.primary_host() == Some(self.node)
+            {
+                ReplicaPhase::Operational
+            } else {
+                ReplicaPhase::Standby
+            }
+        };
+
+        // Drain the holding queue in order (§5.1 step vi). A replica
+        // completing as a standby discards the held traffic (backups
+        // take no traffic; the messages are in the local log).
+        let mut outs = Vec::new();
+        loop {
+            let lg = self.groups.get_mut(&group).expect("checked by caller");
+            let Some(replica) = lg.replica.as_mut() else { break };
+            match replica.holding.pop() {
+                None => break,
+                Some(HeldEntry::Assignment { .. }) | Some(HeldEntry::SyncPoint(_)) => {
+                    // The assignment itself (already applied) or a stale
+                    // sync point from an abandoned transfer.
+                }
+                Some(HeldEntry::Normal(held)) => {
+                    if held.direction == Direction::Reply {
+                        // The transferred outstanding table predates the
+                        // held replies; retire them as they drain.
+                        lg.outstanding.remove(&(held.conn, held.op_seq));
+                    }
+                    if final_phase == ReplicaPhase::Operational {
+                        outs.extend(self.deliver_to_replica(group, held, now));
+                    }
+                }
+            }
+        }
+        let lg = self.groups.get_mut(&group).expect("checked by caller");
+        if let Some(replica) = lg.replica.as_mut() {
+            replica.phase = final_phase;
+        }
+        outs.push(Out::RecoveryComplete {
+            group,
+            app_state_bytes,
+        });
+        outs
+    }
+
+    fn apply_application_state(&mut self, group: GroupId, application: &[u8]) {
+        let key = Self::group_key(group);
+        let lg = self.groups.get_mut(&group).expect("caller verified");
+        match &lg.meta.kind {
+            GroupKind::Server(_) => {
+                self.orb
+                    .poa_mut()
+                    .dispatch(&key, "set_state", application)
+                    .expect("transferred state is valid");
+            }
+            GroupKind::Client(_) => {
+                if let Some(app) = lg.replica.as_mut().and_then(|r| r.client_app.as_mut()) {
+                    if let Ok(any) = Any::from_bytes(application) {
+                        app.set_state(&any);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_orb_poa_state(&mut self, group: GroupId, orb_poa: &OrbPoaStateTransfer) {
+        // §4.2.1: restore request-id counters into the client-side ORB
+        // connections of the recovered object.
+        for &(conn, next_id) in &orb_poa.next_request_ids {
+            debug_assert_eq!(conn.client, group);
+            let conn_id = match self.client_conns.get(&conn) {
+                Some(&id) => id,
+                None => {
+                    let id = self.orb.open_client_connection();
+                    self.client_conns.insert(conn, id);
+                    id
+                }
+            };
+            if let Ok(client) = self.orb.client(conn_id) {
+                client.restore_request_id(next_id);
+            }
+        }
+        // §4.2.2: replay the stored client handshake message into the
+        // new server replica's ORB ahead of any other request from that
+        // client; the response is discarded.
+        for (conn, handshake_bytes) in &orb_poa.handshakes {
+            debug_assert_eq!(conn.server, group);
+            let conn_id = match self.server_conns.get(conn) {
+                Some(&id) => id,
+                None => {
+                    let id = self.orb.accept_server_connection();
+                    self.server_conns.insert(*conn, id);
+                    id
+                }
+            };
+            let _discarded_confirmation = self.orb.handle_request_disposed(conn_id, handshake_bytes);
+        }
+        // Future transfers from this processor must know these facts too.
+        self.observer
+            .merge_transferred(&orb_poa.next_request_ids, &orb_poa.handshakes);
+    }
+
+    fn apply_infra_state(&mut self, group: GroupId, infra: &InfraStateTransfer) {
+        self.dedup.restore_horizons(&infra.dedup_horizons);
+        self.interceptor.restore_op_counters(&infra.op_counters);
+        let mut calls: Vec<OutstandingCall> = infra.outstanding.clone();
+        // Re-arm the ORB's pending-reply table for invocations issued by
+        // the group before this replica recovered.
+        for call in &calls {
+            if let Some(&conn_id) = self.client_conns.get(&call.conn) {
+                if let Ok(client) = self.orb.client(conn_id) {
+                    client.restore_outstanding(call.request_id, &call.operation);
+                }
+            }
+        }
+        let lg = self.groups.get_mut(&group).expect("caller verified");
+        lg.outstanding = calls
+            .drain(..)
+            .map(|c| ((c.conn, c.op_seq), c))
+            .collect();
+    }
+
+    fn on_fault(&mut self, group: GroupId, host: NodeId) -> Vec<Out> {
+        let Some(lg) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        let was_primary =
+            lg.is_primary_style() && lg.primary_host() == Some(host);
+        lg.operational_hosts.remove(&host);
+        lg.standby_hosts.remove(&host);
+        if !was_primary {
+            return Vec::new();
+        }
+        // Primary failed: promote (paper §3.2). The new primary is the
+        // lowest-id designated host that is still a candidate.
+        let style = lg.meta.props.style;
+        let candidate = match style {
+            ReplicationStyle::WarmPassive => lg.standby_hosts.iter().next().copied(),
+            ReplicationStyle::ColdPassive => lg
+                .meta
+                .hosts
+                .iter()
+                .copied()
+                .find(|&h| h != host),
+            ReplicationStyle::Active => None,
+        };
+        let Some(new_primary) = candidate else {
+            return Vec::new();
+        };
+        lg.operational_hosts.insert(new_primary);
+        lg.standby_hosts.remove(&new_primary);
+        if new_primary != self.node {
+            return Vec::new();
+        }
+        self.promote_local(group)
+    }
+
+    /// Promotes the local backup to primary: cold-loads the replica if
+    /// needed, applies the logged checkpoint, and replays the logged
+    /// message suffix (§3.3).
+    fn promote_local(&mut self, group: GroupId) -> Vec<Out> {
+        let style;
+        let checkpoint_bytes;
+        let suffix: Vec<(u64, Vec<u8>)>;
+        {
+            let lg = self.groups.get(&group).expect("promoting local group");
+            style = lg.meta.props.style;
+            checkpoint_bytes = lg.log.checkpoint().map(|(b, _)| b.to_vec());
+            suffix = lg
+                .log
+                .suffix()
+                .iter()
+                .map(|m| (m.tag, m.bytes.clone()))
+                .collect();
+        }
+        match style {
+            ReplicationStyle::WarmPassive => {
+                // Replica is loaded and synchronized to the last
+                // checkpoint's application state already; restore the
+                // other two kinds from the logged checkpoint.
+                if let Some(bytes) = &checkpoint_bytes {
+                    if let Ok(state) = ThreeKindsOfState::from_bytes(bytes) {
+                        self.apply_orb_poa_state(group, &state.orb_poa);
+                        self.apply_infra_state(group, &state.infrastructure);
+                    }
+                }
+            }
+            ReplicationStyle::ColdPassive => {
+                // Launch the replica, then checkpoint, then messages —
+                // "in that order" (§3.3).
+                self.instantiate_replica(group, ReplicaPhase::Operational);
+                if let Some(bytes) = &checkpoint_bytes {
+                    if let Ok(state) = ThreeKindsOfState::from_bytes(bytes) {
+                        self.apply_application_state(group, &state.application);
+                        self.apply_orb_poa_state(group, &state.orb_poa);
+                        self.apply_infra_state(group, &state.infrastructure);
+                    }
+                }
+            }
+            ReplicationStyle::Active => return Vec::new(),
+        }
+        if let Some(lg) = self.groups.get_mut(&group) {
+            if let Some(replica) = lg.replica.as_mut() {
+                replica.phase = ReplicaPhase::Operational;
+            }
+        }
+        // Replay the log suffix through the now-primary replica. The
+        // replies it produces are multicast; duplicate suppression at
+        // the receivers absorbs any the old primary already sent. A
+        // cold promotion first pays the launch + checkpoint-load cost.
+        let base = match style {
+            ReplicationStyle::ColdPassive => self.config.cold_load_time,
+            _ => Duration::ZERO,
+        };
+        let mut outs = Vec::new();
+        let replayed = suffix.len();
+        for (i, (tag, bytes)) in suffix.into_iter().enumerate() {
+            if let Ok(GiopMessage::Request(_)) = GiopMessage::from_bytes(&bytes) {
+                // The log tag encodes (client group, op id); see the
+                // logging discipline in `on_iiop`.
+                let conn = ConnectionName {
+                    client: GroupId((tag >> 32) as u32),
+                    server: group,
+                };
+                let held = HeldIiop {
+                    conn,
+                    direction: Direction::Request,
+                    op_seq: tag as u32,
+                    bytes,
+                };
+                let mut delivered = self.deliver_to_replica_with_delay(
+                    group,
+                    held,
+                    base + self.config.exec_time * (i as u64 + 1),
+                );
+                outs.append(&mut delivered);
+            }
+        }
+        outs.push(Out::Promoted {
+            group,
+            replayed,
+            ready_after: base + self.config.exec_time * replayed as u64,
+        });
+        outs
+    }
+
+    fn deliver_to_replica_with_delay(
+        &mut self,
+        group: GroupId,
+        held: HeldIiop,
+        delay: Duration,
+    ) -> Vec<Out> {
+        // Replay happens at fault-delivery time; oneway settling windows
+        // are folded into the explicit replay delay instead.
+        let mut outs = self.deliver_to_replica(group, held, SimTime::ZERO);
+        for out in &mut outs {
+            if let Out::Multicast { delay: d, .. } = out {
+                *d = *d + delay;
+            }
+        }
+        outs
+    }
+
+    /// Processes a Totem configuration change: replicas on processors
+    /// that left the membership are treated as failed, at the same
+    /// total-order point on every survivor.
+    pub fn on_config_change(&mut self, members: &[NodeId]) -> Vec<Out> {
+        let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+        let mut outs = Vec::new();
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            let dead: Vec<NodeId> = {
+                let lg = self.groups.get(&group).expect("listed");
+                lg.operational_hosts
+                    .union(&lg.standby_hosts)
+                    .copied()
+                    .filter(|h| !member_set.contains(h))
+                    .collect()
+            };
+            for host in dead {
+                outs.extend(self.on_fault(group, host));
+            }
+        }
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppInvocation, CounterServant, StreamingClient};
+    use eternal_giop::ReplyStatus;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A miniature total-order bus: collects `Out::Multicast` messages
+    /// and delivers them to every mechanisms instance in FIFO order —
+    /// exactly what Totem provides, minus the network.
+    struct Bus {
+        queue: std::collections::VecDeque<EternalMessage>,
+        now: SimTime,
+    }
+
+    impl Bus {
+        fn new() -> Self {
+            Bus {
+                queue: std::collections::VecDeque::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn collect(&mut self, outs: Vec<Out>) -> Vec<Out> {
+            let mut rest = Vec::new();
+            for out in outs {
+                match out {
+                    Out::Multicast { message, .. } => self.queue.push_back(message),
+                    other => rest.push(other),
+                }
+            }
+            rest
+        }
+
+        /// Drains the queue through every node; returns non-multicast
+        /// outs per node id.
+        fn run(&mut self, mechs: &mut [&mut Mechanisms]) -> Vec<(NodeId, Out)> {
+            let mut events = Vec::new();
+            while let Some(message) = self.queue.pop_front() {
+                self.now = self.now + Duration::from_micros(100);
+                for mech in mechs.iter_mut() {
+                    let node = mech.node();
+                    let outs = mech.on_delivered(message.clone(), self.now);
+                    for out in self.collect(outs) {
+                        events.push((node, out));
+                    }
+                }
+            }
+            events
+        }
+    }
+
+    fn server_meta(group: GroupId, hosts: Vec<NodeId>, style: ReplicationStyle) -> GroupMeta {
+        let props = match style {
+            ReplicationStyle::Active => FaultToleranceProperties::active(hosts.len()),
+            ReplicationStyle::WarmPassive => {
+                FaultToleranceProperties::warm_passive(hosts.len()).with_min_replicas(1)
+            }
+            ReplicationStyle::ColdPassive => {
+                FaultToleranceProperties::cold_passive(hosts.len()).with_min_replicas(1)
+            }
+        };
+        GroupMeta {
+            id: group,
+            name: format!("server-{group}"),
+            props,
+            hosts,
+            kind: GroupKind::Server(Box::new(|| Box::new(CounterServant::default()))),
+        }
+    }
+
+    fn client_meta(group: GroupId, hosts: Vec<NodeId>, server: GroupId) -> GroupMeta {
+        GroupMeta {
+            id: group,
+            name: format!("client-{group}"),
+            props: FaultToleranceProperties::active(hosts.len()),
+            hosts,
+            kind: GroupKind::Client(Box::new(move |_| {
+                // Bounded: the test bus drains the queue to quiescence,
+                // so the stream must terminate.
+                Box::new(StreamingClient::new(server, "increment", 1).with_limit(5))
+            })),
+        }
+    }
+
+    /// Two processors: a server replica on each (active), a client on
+    /// P0. One full invocation round trip through real GIOP bytes.
+    #[test]
+    fn end_to_end_invocation_round_trip() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let mut a = Mechanisms::new(n(0), MechConfig::default());
+        let mut b = Mechanisms::new(n(1), MechConfig::default());
+        for m in [&mut a, &mut b] {
+            m.register_group(server_meta(server, vec![n(0), n(1)], ReplicationStyle::Active));
+            m.register_group(client_meta(client, vec![n(0)], server));
+        }
+        a.deploy_local_replica(server);
+        b.deploy_local_replica(server);
+        a.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        let outs = a.start_clients();
+        assert!(b.start_clients().is_empty(), "no client replica on P1");
+        bus.collect(outs);
+        let events = bus.run(&mut [&mut a, &mut b]);
+        // The client got its reply (and the streaming app immediately
+        // issued follow-ups that also complete, until the bus drains in
+        // lock-step; at least one ReplyDelivered must have appeared).
+        assert!(events
+            .iter()
+            .any(|(node, out)| *node == n(0) && matches!(out, Out::ReplyDelivered { .. })));
+        // Both server replicas dispatched the same operations.
+        assert_eq!(
+            a.counters().requests_dispatched,
+            b.counters().requests_dispatched
+        );
+        assert!(a.counters().requests_dispatched > 0);
+        // Duplicate replies (one per server replica) were suppressed.
+        assert!(a.suppressed() > 0 || b.suppressed() > 0);
+    }
+
+    #[test]
+    fn duplicate_iiop_copies_are_suppressed() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let mut a = Mechanisms::new(n(0), MechConfig::default());
+        a.register_group(server_meta(server, vec![n(0)], ReplicationStyle::Active));
+        a.register_group(client_meta(client, vec![n(9)], server));
+        a.deploy_local_replica(server);
+
+        // Build one request via a sibling's mechanisms to get real bytes.
+        let mut sibling = Mechanisms::new(n(9), MechConfig::default());
+        sibling.register_group(server_meta(server, vec![n(0)], ReplicationStyle::Active));
+        sibling.register_group(client_meta(client, vec![n(9)], server));
+        sibling.deploy_local_replica(client);
+        let outs = sibling.start_clients();
+        let msg = outs
+            .into_iter()
+            .find_map(|o| match o {
+                Out::Multicast { message, .. } => Some(message),
+                _ => None,
+            })
+            .expect("client issued a request");
+
+        let first = a.on_delivered(msg.clone(), SimTime::ZERO);
+        assert!(
+            first
+                .iter()
+                .any(|o| matches!(o, Out::Multicast { .. })),
+            "first copy dispatched and produced a reply"
+        );
+        let second = a.on_delivered(msg.clone(), SimTime::ZERO);
+        assert!(second.is_empty(), "duplicate copy fully suppressed");
+        let third = a.on_delivered(msg, SimTime::ZERO);
+        assert!(third.is_empty());
+        assert_eq!(a.suppressed(), 2);
+    }
+
+    #[test]
+    fn checkpoint_flow_logs_at_all_hosts() {
+        let server = GroupId(0);
+        let mut a = Mechanisms::new(n(0), MechConfig::default());
+        let mut b = Mechanisms::new(n(1), MechConfig::default());
+        for m in [&mut a, &mut b] {
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1)],
+                ReplicationStyle::WarmPassive,
+            ));
+        }
+        a.deploy_local_replica(server); // primary
+        b.deploy_local_replica(server); // warm backup
+        assert_eq!(a.replica_phase(server), Some(ReplicaPhase::Operational));
+        assert_eq!(b.replica_phase(server), Some(ReplicaPhase::Standby));
+
+        let mut bus = Bus::new();
+        // Only the primary host fabricates the checkpoint retrieval.
+        assert!(b.checkpoint_due(server).is_empty());
+        bus.collect(a.checkpoint_due(server));
+        bus.run(&mut [&mut a, &mut b]);
+        assert_eq!(a.checkpoints_taken(server), 1);
+        assert_eq!(b.checkpoints_taken(server), 1);
+        assert_eq!(a.counters().checkpoints_logged, 1);
+    }
+
+    #[test]
+    fn five_one_recovery_protocol_through_the_bus() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let mut a = Mechanisms::new(n(0), MechConfig::default());
+        let mut b = Mechanisms::new(n(1), MechConfig::default());
+        for m in [&mut a, &mut b] {
+            m.register_group(server_meta(server, vec![n(0), n(1)], ReplicationStyle::Active));
+            m.register_group(client_meta(client, vec![n(0)], server));
+        }
+        a.deploy_local_replica(server);
+        b.deploy_local_replica(server);
+        a.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        bus.collect(a.start_clients());
+        bus.run(&mut [&mut a, &mut b]);
+
+        // Kill B's replica; its fault is announced and a recovering
+        // replica launched there.
+        bus.collect(b.kill_local_replica(server));
+        bus.run(&mut [&mut a, &mut b]);
+        bus.collect(b.launch_recovering_replica(server));
+        assert_eq!(b.replica_phase(server), Some(ReplicaPhase::AwaitingSync));
+        let events = bus.run(&mut [&mut a, &mut b]);
+
+        // The §5.1 episode completed at B with the counter's state.
+        let recovered = events.iter().find_map(|(node, out)| match out {
+            Out::RecoveryComplete {
+                group,
+                app_state_bytes,
+            } if *node == n(1) && *group == server => Some(*app_state_bytes),
+            _ => None,
+        });
+        let bytes = recovered.expect("B recovered");
+        assert!(bytes > 0, "non-empty application state transferred");
+        assert_eq!(b.replica_phase(server), Some(ReplicaPhase::Operational));
+        // Both replicas now dispatch in lock-step again.
+        let before_a = a.counters().requests_dispatched;
+        let before_b = b.counters().requests_dispatched;
+        bus.collect(a.start_clients()); // no-op (already started)
+        let _ = (before_a, before_b);
+    }
+
+    #[test]
+    fn oneway_invocations_dispatch_without_replies() {
+        let server = GroupId(0);
+        let mut a = Mechanisms::new(n(0), MechConfig::default());
+        a.register_group(GroupMeta {
+            id: server,
+            name: "kv".into(),
+            props: FaultToleranceProperties::active(1),
+            hosts: vec![n(0)],
+            kind: GroupKind::Server(Box::new(|| {
+                Box::new(crate::app::KvStoreServant::default())
+            })),
+        });
+        a.deploy_local_replica(server);
+
+        // A oneway `notify` from a synthetic client group.
+        let client = GroupId(1);
+        let mut c = Mechanisms::new(n(9), MechConfig::default());
+        c.register_group(GroupMeta {
+            id: server,
+            name: "kv".into(),
+            props: FaultToleranceProperties::active(1),
+            hosts: vec![n(0)],
+            kind: GroupKind::Server(Box::new(|| {
+                Box::new(crate::app::KvStoreServant::default())
+            })),
+        });
+        struct OnewayApp {
+            server: GroupId,
+        }
+        impl crate::app::ClientApp for OnewayApp {
+            fn on_start(&mut self) -> Vec<AppInvocation> {
+                vec![AppInvocation {
+                    server: self.server,
+                    operation: "notify".into(),
+                    args: crate::app::KvStoreServant::key_args("hot"),
+                    response_expected: false,
+                }]
+            }
+            fn on_reply(
+                &mut self,
+                _s: GroupId,
+                _o: &str,
+                _st: ReplyStatus,
+                _b: &[u8],
+            ) -> Vec<AppInvocation> {
+                Vec::new()
+            }
+            fn get_state(&self) -> Any {
+                Any::from(0u32)
+            }
+            fn set_state(&mut self, _s: &Any) {}
+        }
+        c.register_group(GroupMeta {
+            id: client,
+            name: "oneway".into(),
+            props: FaultToleranceProperties::active(1),
+            hosts: vec![n(9)],
+            kind: GroupKind::Client(Box::new(move |_| Box::new(OnewayApp { server }))),
+        });
+        a.register_group(GroupMeta {
+            id: client,
+            name: "oneway".into(),
+            props: FaultToleranceProperties::active(1),
+            hosts: vec![n(9)],
+            kind: GroupKind::Client(Box::new(move |_| Box::new(OnewayApp { server }))),
+        });
+        c.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        bus.collect(c.start_clients());
+        let events = bus.run(&mut [&mut a, &mut c]);
+        assert_eq!(a.counters().requests_dispatched, 1, "oneway dispatched");
+        assert!(
+            events.is_empty() && bus.queue.is_empty(),
+            "no reply generated for a oneway"
+        );
+    }
+
+    #[test]
+    fn replace_group_kind_changes_future_instantiations() {
+        let server = GroupId(0);
+        let mut a = Mechanisms::new(n(0), MechConfig::default());
+        a.register_group(server_meta(server, vec![n(0)], ReplicationStyle::Active));
+        a.deploy_local_replica(server);
+        a.kill_local_replica(server);
+        a.replace_group_kind(
+            server,
+            GroupKind::Server(Box::new(|| Box::new(crate::app::KvStoreServant::default()))),
+        );
+        a.instantiate_replica(server, ReplicaPhase::Operational);
+        // The new implementation answers `len` (a KvStore op the counter
+        // does not know).
+        let out = a
+            .orb
+            .poa_mut()
+            .dispatch(&Mechanisms::group_key(server), "len", &[]);
+        assert!(out.is_ok(), "upgraded implementation active: {out:?}");
+    }
+}

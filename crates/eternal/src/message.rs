@@ -1,0 +1,525 @@
+//! Messages exchanged between the Eternal mechanisms of different
+//! processors, and their fragmentation over the bounded Totem payload.
+//!
+//! Everything Eternal sends — intercepted IIOP messages, fabricated
+//! `get_state`/`set_state` control traffic, fault notifications — is
+//! multicast through Totem so it lands at every processor at the same
+//! position in the total order. A message larger than one Ethernet
+//! frame (notably a `set_state` carrying a large application state,
+//! §6) is split into [`WireFragment`]s; its delivery point in the total
+//! order is the arrival of its **last** fragment, which is the same at
+//! every processor.
+
+use crate::gid::{ConnectionName, Direction, GroupId, TransferId};
+use crate::recovery::state3::ThreeKindsOfState;
+use eternal_cdr::{CdrDecoder, CdrEncoder, CdrError, Endian};
+use eternal_sim::net::NodeId;
+use std::collections::HashMap;
+
+/// Why a `get_state()` is being fabricated (paper §3.3 vs §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalPurpose {
+    /// Recovery of a new/recovering replica hosted on `new_host`; the
+    /// resulting assignment is applied there and discarded elsewhere.
+    Recovery {
+        /// Processor hosting the replica being recovered.
+        new_host: NodeId,
+    },
+    /// Periodic checkpoint (passive replication); the resulting state is
+    /// logged by every processor hosting the group (and applied by warm
+    /// backups).
+    Checkpoint,
+}
+
+/// A message between Eternal mechanisms, conveyed in Totem's total
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EternalMessage {
+    /// An intercepted IIOP message of the application.
+    Iiop {
+        /// The logical client→server connection.
+        conn: ConnectionName,
+        /// Request or reply.
+        direction: Direction,
+        /// The Eternal-generated operation identifier (§4.3): replicas
+        /// of a deterministic group assign the same value to the same
+        /// logical operation, *independently of the GIOP request id*,
+        /// which is ORB state and may diverge when recovery is done
+        /// wrong (the paper's Figure 4).
+        op_seq: u32,
+        /// The verbatim IIOP bytes.
+        bytes: Vec<u8>,
+    },
+    /// A new/recovered replica of `group` is ready on `host` and needs
+    /// state synchronization before it may operate.
+    ReplicaJoining {
+        /// The group being recovered.
+        group: GroupId,
+        /// The processor hosting the new replica.
+        host: NodeId,
+    },
+    /// A hosted replica died (detected by local fault monitoring).
+    ReplicaFault {
+        /// The group that lost a replica.
+        group: GroupId,
+        /// The processor whose replica died.
+        host: NodeId,
+    },
+    /// The fabricated `get_state()` invocation: the §5.1 synchronization
+    /// point. Delivered to existing replicas (at quiescence); marks the
+    /// start of enqueueing at the recovering replica.
+    StateRetrieval {
+        /// The group whose state is captured.
+        group: GroupId,
+        /// Identifies this transfer episode.
+        transfer: TransferId,
+        /// Recovery or periodic checkpoint.
+        purpose: RetrievalPurpose,
+    },
+    /// The fabricated `set_state()` with the piggybacked three kinds of
+    /// state (§5.1 step iv).
+    StateAssignment {
+        /// Matches the originating retrieval.
+        transfer: TransferId,
+        /// Recovery or periodic checkpoint (mirrors the retrieval).
+        purpose: RetrievalPurpose,
+        /// The complete transferable state.
+        state: ThreeKindsOfState,
+    },
+}
+
+impl EternalMessage {
+    /// Serializes to CDR bytes (big-endian stream).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        match self {
+            EternalMessage::Iiop {
+                conn,
+                direction,
+                op_seq,
+                bytes,
+            } => {
+                enc.write_u8(0);
+                enc.write_u32(conn.client.0);
+                enc.write_u32(conn.server.0);
+                enc.write_u8(match direction {
+                    Direction::Request => 0,
+                    Direction::Reply => 1,
+                });
+                enc.write_u32(*op_seq);
+                enc.write_octet_seq(bytes);
+            }
+            EternalMessage::ReplicaJoining { group, host } => {
+                enc.write_u8(1);
+                enc.write_u32(group.0);
+                enc.write_u32(host.0);
+            }
+            EternalMessage::ReplicaFault { group, host } => {
+                enc.write_u8(2);
+                enc.write_u32(group.0);
+                enc.write_u32(host.0);
+            }
+            EternalMessage::StateRetrieval {
+                group,
+                transfer,
+                purpose,
+            } => {
+                enc.write_u8(3);
+                enc.write_u32(group.0);
+                enc.write_u64(transfer.0);
+                encode_purpose(&mut enc, *purpose);
+            }
+            EternalMessage::StateAssignment {
+                transfer,
+                purpose,
+                state,
+            } => {
+                enc.write_u8(4);
+                enc.write_u64(transfer.0);
+                encode_purpose(&mut enc, *purpose);
+                state
+                    .encode(&mut enc)
+                    .expect("operation names contain no NUL");
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Deserializes from [`EternalMessage::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CDR failures; unknown tags yield
+    /// [`CdrError::UnknownTypeCodeKind`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CdrError> {
+        let mut dec = CdrDecoder::new(bytes, Endian::Big);
+        let tag = dec.read_u8()?;
+        Ok(match tag {
+            0 => EternalMessage::Iiop {
+                conn: ConnectionName {
+                    client: GroupId(dec.read_u32()?),
+                    server: GroupId(dec.read_u32()?),
+                },
+                direction: match dec.read_u8()? {
+                    0 => Direction::Request,
+                    _ => Direction::Reply,
+                },
+                op_seq: dec.read_u32()?,
+                bytes: dec.read_octet_seq()?,
+            },
+            1 => EternalMessage::ReplicaJoining {
+                group: GroupId(dec.read_u32()?),
+                host: NodeId(dec.read_u32()?),
+            },
+            2 => EternalMessage::ReplicaFault {
+                group: GroupId(dec.read_u32()?),
+                host: NodeId(dec.read_u32()?),
+            },
+            3 => EternalMessage::StateRetrieval {
+                group: GroupId(dec.read_u32()?),
+                transfer: TransferId(dec.read_u64()?),
+                purpose: decode_purpose(&mut dec)?,
+            },
+            4 => EternalMessage::StateAssignment {
+                transfer: TransferId(dec.read_u64()?),
+                purpose: decode_purpose(&mut dec)?,
+                state: ThreeKindsOfState::decode(&mut dec)?,
+            },
+            other => return Err(CdrError::UnknownTypeCodeKind(other as u32)),
+        })
+    }
+}
+
+fn encode_purpose(enc: &mut CdrEncoder, p: RetrievalPurpose) {
+    match p {
+        RetrievalPurpose::Recovery { new_host } => {
+            enc.write_u8(0);
+            enc.write_u32(new_host.0);
+        }
+        RetrievalPurpose::Checkpoint => enc.write_u8(1),
+    }
+}
+
+fn decode_purpose(dec: &mut CdrDecoder<'_>) -> Result<RetrievalPurpose, CdrError> {
+    Ok(match dec.read_u8()? {
+        0 => RetrievalPurpose::Recovery {
+            new_host: NodeId(dec.read_u32()?),
+        },
+        _ => RetrievalPurpose::Checkpoint,
+    })
+}
+
+/// One fragment of an [`EternalMessage`] as carried in a single Totem
+/// broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFragment {
+    /// The multicasting processor (scopes `msg_id`).
+    pub origin: NodeId,
+    /// Per-origin message counter.
+    pub msg_id: u64,
+    /// This fragment's index, `0..total`.
+    pub index: u32,
+    /// Total fragments in the message.
+    pub total: u32,
+    /// The byte slice.
+    pub chunk: Vec<u8>,
+}
+
+/// Fixed CDR overhead of a fragment envelope (origin + msg_id + index +
+/// total + seq-length word, with alignment).
+pub const FRAGMENT_OVERHEAD: usize = 28;
+
+impl WireFragment {
+    /// Serializes the fragment.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u32(self.origin.0);
+        enc.write_u64(self.msg_id);
+        enc.write_u32(self.index);
+        enc.write_u32(self.total);
+        enc.write_octet_seq(&self.chunk);
+        enc.into_bytes()
+    }
+
+    /// Deserializes a fragment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CDR failures.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CdrError> {
+        let mut dec = CdrDecoder::new(bytes, Endian::Big);
+        Ok(WireFragment {
+            origin: NodeId(dec.read_u32()?),
+            msg_id: dec.read_u64()?,
+            index: dec.read_u32()?,
+            total: dec.read_u32()?,
+            chunk: dec.read_octet_seq()?,
+        })
+    }
+}
+
+/// Splits an encoded [`EternalMessage`] into fragment payloads, each of
+/// whose *encoded* size is at most `max_payload` bytes.
+///
+/// # Panics
+///
+/// Panics if `max_payload` cannot hold the envelope plus one byte.
+pub fn fragment_eternal(
+    origin: NodeId,
+    msg_id: u64,
+    encoded: &[u8],
+    max_payload: usize,
+) -> Vec<Vec<u8>> {
+    assert!(
+        max_payload > FRAGMENT_OVERHEAD,
+        "max_payload {max_payload} cannot hold a fragment envelope"
+    );
+    let chunk_size = max_payload - FRAGMENT_OVERHEAD;
+    let total = encoded.len().div_ceil(chunk_size).max(1) as u32;
+    (0..total)
+        .map(|index| {
+            let start = index as usize * chunk_size;
+            let end = (start + chunk_size).min(encoded.len());
+            WireFragment {
+                origin,
+                msg_id,
+                index,
+                total,
+                chunk: encoded[start..end].to_vec(),
+            }
+            .to_bytes()
+        })
+        .collect()
+}
+
+/// Reassembles [`WireFragment`] streams back into [`EternalMessage`]s.
+///
+/// Totem delivers fragments of one origin in order, but fragments of
+/// different origins interleave; partial messages are keyed by
+/// `(origin, msg_id)`.
+#[derive(Debug, Default)]
+pub struct EternalReassembler {
+    partial: HashMap<(NodeId, u64), (u32, Vec<u8>)>, // (next index, bytes)
+}
+
+impl EternalReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages currently partially assembled.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Consumes one Totem payload; returns the completed message when
+    /// this was its last fragment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates envelope/message decode failures; out-of-order
+    /// fragments (impossible under Totem's guarantees) are reported as
+    /// [`CdrError::TypeMismatch`].
+    pub fn push(&mut self, payload: &[u8]) -> Result<Option<EternalMessage>, CdrError> {
+        let frag = WireFragment::from_bytes(payload)?;
+        let key = (frag.origin, frag.msg_id);
+        let entry = self.partial.entry(key).or_insert_with(|| (0, Vec::new()));
+        if entry.0 != frag.index {
+            self.partial.remove(&key);
+            return Err(CdrError::TypeMismatch {
+                expected: "next fragment index",
+                found: "out-of-order fragment",
+            });
+        }
+        entry.0 += 1;
+        entry.1.extend_from_slice(&frag.chunk);
+        if entry.0 == frag.total {
+            let (_, bytes) = self.partial.remove(&key).expect("just inserted");
+            EternalMessage::from_bytes(&bytes).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::state3::{InfraStateTransfer, OrbPoaStateTransfer};
+
+    fn conn() -> ConnectionName {
+        ConnectionName {
+            client: GroupId(1),
+            server: GroupId(2),
+        }
+    }
+
+    fn samples() -> Vec<EternalMessage> {
+        vec![
+            EternalMessage::Iiop {
+                conn: conn(),
+                direction: Direction::Request,
+                op_seq: 42,
+                bytes: vec![1, 2, 3],
+            },
+            EternalMessage::ReplicaJoining {
+                group: GroupId(3),
+                host: NodeId(1),
+            },
+            EternalMessage::ReplicaFault {
+                group: GroupId(3),
+                host: NodeId(2),
+            },
+            EternalMessage::StateRetrieval {
+                group: GroupId(3),
+                transfer: TransferId(9),
+                purpose: RetrievalPurpose::Recovery { new_host: NodeId(4) },
+            },
+            EternalMessage::StateRetrieval {
+                group: GroupId(3),
+                transfer: TransferId(10),
+                purpose: RetrievalPurpose::Checkpoint,
+            },
+            EternalMessage::StateAssignment {
+                transfer: TransferId(9),
+                purpose: RetrievalPurpose::Recovery { new_host: NodeId(4) },
+                state: ThreeKindsOfState {
+                    group: GroupId(3),
+                    application: vec![7; 100],
+                    orb_poa: OrbPoaStateTransfer {
+                        next_request_ids: vec![(conn(), 351)],
+                        handshakes: vec![(conn(), vec![9, 9])],
+                    },
+                    infrastructure: InfraStateTransfer::default(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        for msg in samples() {
+            let bytes = msg.to_bytes();
+            assert_eq!(EternalMessage::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(EternalMessage::from_bytes(&[99]).is_err());
+        assert!(EternalMessage::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn fragment_envelope_overhead_is_accurate() {
+        let frag = WireFragment {
+            origin: NodeId(1),
+            msg_id: 2,
+            index: 0,
+            total: 1,
+            chunk: vec![0; 100],
+        };
+        assert_eq!(frag.to_bytes().len(), FRAGMENT_OVERHEAD + 100);
+    }
+
+    #[test]
+    fn small_message_is_one_fragment() {
+        let msg = samples().remove(1);
+        let frags = fragment_eternal(NodeId(0), 7, &msg.to_bytes(), 1416);
+        assert_eq!(frags.len(), 1);
+        let mut r = EternalReassembler::new();
+        assert_eq!(r.push(&frags[0]).unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let msg = EternalMessage::StateAssignment {
+            transfer: TransferId(1),
+            purpose: RetrievalPurpose::Checkpoint,
+            state: ThreeKindsOfState {
+                group: GroupId(1),
+                application: (0..350_000u32).map(|i| (i % 251) as u8).collect(),
+                orb_poa: OrbPoaStateTransfer::default(),
+                infrastructure: InfraStateTransfer::default(),
+            },
+        };
+        let encoded = msg.to_bytes();
+        let frags = fragment_eternal(NodeId(2), 5, &encoded, 1416);
+        assert_eq!(frags.len(), encoded.len().div_ceil(1416 - FRAGMENT_OVERHEAD));
+        assert!(frags.iter().all(|f| f.len() <= 1416));
+        let mut r = EternalReassembler::new();
+        let mut out = None;
+        for (i, f) in frags.iter().enumerate() {
+            let res = r.push(f).unwrap();
+            if i + 1 < frags.len() {
+                assert!(res.is_none());
+                assert_eq!(r.pending(), 1);
+            } else {
+                out = res;
+            }
+        }
+        assert_eq!(out, Some(msg));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_origins_reassemble_independently() {
+        let m1 = EternalMessage::Iiop {
+            conn: conn(),
+            direction: Direction::Request,
+            op_seq: 1,
+            bytes: vec![1; 5000],
+        };
+        let m2 = EternalMessage::Iiop {
+            conn: conn(),
+            direction: Direction::Reply,
+            op_seq: 1,
+            bytes: vec![2; 5000],
+        };
+        let f1 = fragment_eternal(NodeId(0), 1, &m1.to_bytes(), 1000);
+        let f2 = fragment_eternal(NodeId(1), 1, &m2.to_bytes(), 1000);
+        let mut r = EternalReassembler::new();
+        let mut done = Vec::new();
+        // Strict interleave.
+        for i in 0..f1.len().max(f2.len()) {
+            if let Some(f) = f1.get(i) {
+                if let Some(m) = r.push(f).unwrap() {
+                    done.push(m);
+                }
+            }
+            if let Some(f) = f2.get(i) {
+                if let Some(m) = r.push(f).unwrap() {
+                    done.push(m);
+                }
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&m1) && done.contains(&m2));
+    }
+
+    #[test]
+    fn out_of_order_fragment_rejected() {
+        let msg = EternalMessage::Iiop {
+            conn: conn(),
+            direction: Direction::Request,
+            op_seq: 0,
+            bytes: vec![0; 3000],
+        };
+        let frags = fragment_eternal(NodeId(0), 1, &msg.to_bytes(), 1000);
+        let mut r = EternalReassembler::new();
+        assert!(r.push(&frags[1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "envelope")]
+    fn tiny_max_payload_panics() {
+        fragment_eternal(NodeId(0), 1, &[0; 10], 8);
+    }
+
+    #[test]
+    fn empty_message_body_still_one_fragment() {
+        let frags = fragment_eternal(NodeId(0), 1, &[], 100);
+        assert_eq!(frags.len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fault-tolerance properties, set per replicated object at deployment
+//! time (paper §2: "according to user-specified fault tolerance
+//! properties (such as the replication style, the checkpointing
+//! interval, the fault monitoring interval, the initial number of
+//! replicas, the minimum number of replicas, etc.)").
+
+use eternal_sim::Duration;
+
+/// How an object group is replicated (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicationStyle {
+    /// Every replica performs every operation. Fast recovery (nothing
+    /// to replay), higher steady-state resource usage.
+    Active,
+    /// One primary performs operations; backups are loaded and are
+    /// periodically synchronized to the primary's checkpoint. On primary
+    /// failure a backup replays the logged messages since the last
+    /// checkpoint and takes over.
+    WarmPassive,
+    /// One primary performs operations; backups exist only as log
+    /// entries. On primary failure a replica is launched and initialized
+    /// from the logged checkpoint plus the messages after it.
+    ColdPassive,
+}
+
+impl ReplicationStyle {
+    /// Whether this style keeps a periodic checkpoint + message log.
+    pub fn logs_checkpoints(self) -> bool {
+        matches!(self, ReplicationStyle::WarmPassive | ReplicationStyle::ColdPassive)
+    }
+}
+
+/// Deployment-time properties of one replicated object.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceProperties {
+    /// The replication style.
+    pub style: ReplicationStyle,
+    /// Replicas to create at deployment.
+    pub initial_replicas: usize,
+    /// Below this count the resource manager launches new replicas.
+    pub min_replicas: usize,
+    /// Interval between `get_state()` checkpoints (passive styles).
+    pub checkpoint_interval: Duration,
+    /// How often the fault detectors probe replica liveness.
+    pub fault_monitoring_interval: Duration,
+}
+
+impl FaultToleranceProperties {
+    /// Active replication with `n` replicas and default intervals.
+    pub fn active(n: usize) -> Self {
+        FaultToleranceProperties {
+            style: ReplicationStyle::Active,
+            initial_replicas: n,
+            min_replicas: n,
+            checkpoint_interval: Duration::from_millis(100),
+            fault_monitoring_interval: Duration::from_millis(10),
+        }
+    }
+
+    /// Warm passive replication with `n` replicas (1 primary, n-1 warm
+    /// backups).
+    pub fn warm_passive(n: usize) -> Self {
+        FaultToleranceProperties {
+            style: ReplicationStyle::WarmPassive,
+            ..FaultToleranceProperties::active(n)
+        }
+    }
+
+    /// Cold passive replication with `n` potential replicas (1 primary;
+    /// backups exist only in the log).
+    pub fn cold_passive(n: usize) -> Self {
+        FaultToleranceProperties {
+            style: ReplicationStyle::ColdPassive,
+            ..FaultToleranceProperties::active(n)
+        }
+    }
+
+    /// Overrides the checkpoint interval (builder style).
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Overrides the minimum replica count (builder style).
+    pub fn with_min_replicas(mut self, min: usize) -> Self {
+        self.min_replicas = min;
+        self
+    }
+
+    /// Sanity-checks the property combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical combinations (zero replicas, minimum above
+    /// initial).
+    pub fn validate(&self) {
+        assert!(self.initial_replicas >= 1, "need at least one replica");
+        assert!(
+            self.min_replicas <= self.initial_replicas,
+            "min_replicas exceeds initial_replicas"
+        );
+        assert!(
+            !self.checkpoint_interval.is_zero() || !self.style.logs_checkpoints(),
+            "passive replication requires a non-zero checkpoint interval"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        FaultToleranceProperties::active(3).validate();
+        FaultToleranceProperties::warm_passive(2).validate();
+        FaultToleranceProperties::cold_passive(2).validate();
+    }
+
+    #[test]
+    fn style_flags() {
+        assert!(!ReplicationStyle::Active.logs_checkpoints());
+        assert!(ReplicationStyle::WarmPassive.logs_checkpoints());
+        assert!(ReplicationStyle::ColdPassive.logs_checkpoints());
+    }
+
+    #[test]
+    fn builders_override() {
+        let p = FaultToleranceProperties::warm_passive(3)
+            .with_checkpoint_interval(Duration::from_millis(7))
+            .with_min_replicas(2);
+        assert_eq!(p.checkpoint_interval, Duration::from_millis(7));
+        assert_eq!(p.min_replicas, 2);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_replicas")]
+    fn bad_minimum_rejected() {
+        FaultToleranceProperties::active(1).with_min_replicas(2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_replicas_rejected() {
+        FaultToleranceProperties::active(0).validate();
+    }
+}

@@ -1,0 +1,220 @@
+//! Duplicate invocation/response suppression (paper §2.1).
+//!
+//! With active replication, every replica of a three-way replicated
+//! client multicasts the same logical invocation, so a server's
+//! mechanisms receive three copies. Because deterministic client ORBs
+//! assign identical GIOP request ids, the triple *(connection,
+//! direction, request id)* identifies the logical operation, and the
+//! first copy in the total order wins; the rest are suppressed before
+//! they ever reach the target ORB.
+
+use crate::gid::{ConnectionName, Direction, OperationId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Sliding-window duplicate filter.
+///
+/// Per `(connection, direction)` the suppressor keeps a *horizon* (all
+/// ids at or below it have been seen) plus the sparse set of ids seen
+/// above it, advancing the horizon as the window fills. Memory stays
+/// bounded no matter how long the system runs.
+#[derive(Debug, Default)]
+pub struct DuplicateSuppressor {
+    streams: HashMap<(ConnectionName, Direction), Stream>,
+    suppressed: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stream {
+    /// Every id `<= horizon` has been seen. Starts "nothing seen".
+    horizon: Option<u32>,
+    /// Ids above the horizon seen out of order.
+    above: BTreeSet<u32>,
+}
+
+impl Stream {
+    fn seen(&self, id: u32) -> bool {
+        match self.horizon {
+            Some(h) if id <= h => true,
+            _ => self.above.contains(&id),
+        }
+    }
+
+    fn record(&mut self, id: u32) {
+        self.above.insert(id);
+        // Advance the horizon over contiguous ids.
+        loop {
+            let next = match self.horizon {
+                None => 0,
+                Some(h) => match h.checked_add(1) {
+                    Some(n) => n,
+                    None => return,
+                },
+            };
+            if self.above.remove(&next) {
+                self.horizon = Some(next);
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+impl DuplicateSuppressor {
+    /// Creates an empty suppressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` the first time an operation is admitted, `false`
+    /// for every duplicate thereafter.
+    pub fn admit(&mut self, op: OperationId) -> bool {
+        let stream = self.streams.entry((op.conn, op.direction)).or_default();
+        if stream.seen(op.request_id) {
+            self.suppressed += 1;
+            false
+        } else {
+            stream.record(op.request_id);
+            true
+        }
+    }
+
+    /// Whether the operation has been seen (without recording it).
+    pub fn has_seen(&self, op: OperationId) -> bool {
+        self.streams
+            .get(&(op.conn, op.direction))
+            .is_some_and(|s| s.seen(op.request_id))
+    }
+
+    /// Number of duplicates suppressed so far.
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// The dedup horizon per stream, for the infrastructure-level state
+    /// transfer (§4.3): a new replica must not re-deliver operations its
+    /// group already processed.
+    pub fn horizons(&self) -> Vec<(ConnectionName, Direction, u32)> {
+        self.streams
+            .iter()
+            .filter_map(|(&(conn, dir), s)| s.horizon.map(|h| (conn, dir, h)))
+            .collect()
+    }
+
+    /// Installs transferred horizons (marking everything at or below
+    /// each horizon as seen).
+    pub fn restore_horizons(&mut self, horizons: &[(ConnectionName, Direction, u32)]) {
+        for &(conn, dir, h) in horizons {
+            let stream = self.streams.entry((conn, dir)).or_default();
+            let new_h = match stream.horizon {
+                Some(old) => old.max(h),
+                None => h,
+            };
+            stream.horizon = Some(new_h);
+            stream.above.retain(|&id| id > new_h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gid::GroupId;
+
+    fn op(id: u32) -> OperationId {
+        OperationId {
+            conn: ConnectionName {
+                client: GroupId(1),
+                server: GroupId(2),
+            },
+            direction: Direction::Request,
+            request_id: id,
+        }
+    }
+
+    #[test]
+    fn first_copy_wins() {
+        let mut d = DuplicateSuppressor::new();
+        assert!(d.admit(op(0)));
+        assert!(!d.admit(op(0)));
+        assert!(!d.admit(op(0)));
+        assert_eq!(d.suppressed_count(), 2);
+    }
+
+    #[test]
+    fn distinct_operations_all_admitted() {
+        let mut d = DuplicateSuppressor::new();
+        for i in 0..100 {
+            assert!(d.admit(op(i)));
+        }
+        assert_eq!(d.suppressed_count(), 0);
+    }
+
+    #[test]
+    fn directions_are_separate_streams() {
+        let mut d = DuplicateSuppressor::new();
+        let req = op(5);
+        let rep = OperationId {
+            direction: Direction::Reply,
+            ..req
+        };
+        assert!(d.admit(req));
+        assert!(d.admit(rep));
+        assert!(!d.admit(req));
+        assert!(!d.admit(rep));
+    }
+
+    #[test]
+    fn horizon_advances_and_bounds_memory() {
+        let mut d = DuplicateSuppressor::new();
+        for i in 0..10_000u32 {
+            d.admit(op(i));
+        }
+        let horizons = d.horizons();
+        assert_eq!(horizons.len(), 1);
+        assert_eq!(horizons[0].2, 9_999);
+        let stream = d.streams.values().next().unwrap();
+        assert!(stream.above.is_empty(), "window fully compacted");
+    }
+
+    #[test]
+    fn out_of_order_ids_tracked() {
+        let mut d = DuplicateSuppressor::new();
+        assert!(d.admit(op(2)));
+        assert!(!d.admit(op(2)));
+        assert!(d.admit(op(0)));
+        assert!(d.admit(op(1)));
+        // Horizon now 2; all three are dups.
+        for i in 0..=2 {
+            assert!(d.has_seen(op(i)));
+        }
+        assert_eq!(d.horizons()[0].2, 2);
+    }
+
+    #[test]
+    fn restored_horizon_suppresses_old_operations() {
+        // The recovered-replica scenario: the new replica's mechanisms
+        // must not re-admit operations the group already handled.
+        let mut fresh = DuplicateSuppressor::new();
+        fresh.restore_horizons(&[(
+            ConnectionName {
+                client: GroupId(1),
+                server: GroupId(2),
+            },
+            Direction::Request,
+            350,
+        )]);
+        assert!(!fresh.admit(op(350)), "pre-horizon op suppressed");
+        assert!(!fresh.admit(op(0)));
+        assert!(fresh.admit(op(351)), "new op admitted");
+    }
+
+    #[test]
+    fn restore_keeps_larger_local_horizon() {
+        let mut d = DuplicateSuppressor::new();
+        for i in 0..10 {
+            d.admit(op(i));
+        }
+        d.restore_horizons(&[(op(0).conn, Direction::Request, 5)]);
+        assert_eq!(d.horizons()[0].2, 9);
+    }
+}

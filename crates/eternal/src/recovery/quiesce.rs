@@ -1,0 +1,193 @@
+//! Quiescence tracking (paper §5).
+//!
+//! "To decide on the appropriate time to deliver the `get_state()`
+//! invocation, the Eternal system must determine the moment that the
+//! object is quiescent, i.e., when it is 'safe', from the viewpoint of
+//! replica consistency, to deliver a new invocation to the object."
+//!
+//! The paper's full machinery (thread inspection, collocated-object
+//! data sharing) targets preemptive ORBs; in this reproduction's
+//! event-driven model a replica is *between* operations at every
+//! delivery point, so quiescence reduces to bookkeeping over the
+//! operations the paper calls out explicitly: invocations currently
+//! being performed, and **oneways**, which return no response and
+//! therefore leave no natural completion point ("the use of oneways …
+//! introduces additional complications for quiescence").
+//!
+//! [`QuiescenceTracker`] maintains that bookkeeping per replica: nested
+//! invocations in progress, and a oneway settling horizon — after a
+//! oneway is dispatched, the object is considered non-quiescent until
+//! the modeled execution window has elapsed, because nothing else
+//! signals its completion.
+
+use eternal_sim::{Duration, SimTime};
+
+/// Tracks whether one replica is quiescent.
+#[derive(Debug)]
+pub struct QuiescenceTracker {
+    /// Invocations currently being performed (nested calls stack).
+    in_progress: u32,
+    /// The object is non-quiescent until this instant because of
+    /// dispatched oneways.
+    oneway_settle_until: SimTime,
+    /// How long a oneway occupies the object.
+    oneway_window: Duration,
+    /// Times a `get_state` had to wait for quiescence (statistics).
+    deferrals: u64,
+}
+
+impl QuiescenceTracker {
+    /// Creates a tracker whose oneways occupy the object for
+    /// `oneway_window`.
+    pub fn new(oneway_window: Duration) -> Self {
+        QuiescenceTracker {
+            in_progress: 0,
+            oneway_settle_until: SimTime::ZERO,
+            oneway_window,
+            deferrals: 0,
+        }
+    }
+
+    /// Marks the start of a (two-way) invocation on the object.
+    pub fn invocation_started(&mut self) {
+        self.in_progress += 1;
+    }
+
+    /// Marks the completion of a (two-way) invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no invocation is in progress (a bookkeeping bug).
+    pub fn invocation_finished(&mut self) {
+        assert!(self.in_progress > 0, "finish without start");
+        self.in_progress -= 1;
+    }
+
+    /// Records the dispatch of a `oneway` at `now`: the object is
+    /// considered busy for the oneway window, since no reply will ever
+    /// mark its completion.
+    pub fn oneway_dispatched(&mut self, now: SimTime) {
+        let until = now + self.oneway_window;
+        if until > self.oneway_settle_until {
+            self.oneway_settle_until = until;
+        }
+    }
+
+    /// Whether the object is quiescent at `now` — safe to deliver a
+    /// `get_state()` (or any state-synchronizing invocation).
+    pub fn is_quiescent(&self, now: SimTime) -> bool {
+        self.in_progress == 0 && now >= self.oneway_settle_until
+    }
+
+    /// The earliest instant at which the object *could* be quiescent
+    /// (assuming no further activity). `None` while a two-way invocation
+    /// is still in progress (its completion time is unknown).
+    pub fn earliest_quiescence(&self, now: SimTime) -> Option<SimTime> {
+        if self.in_progress > 0 {
+            return None;
+        }
+        Some(now.max(self.oneway_settle_until))
+    }
+
+    /// Records that a state retrieval had to be deferred.
+    pub fn record_deferral(&mut self) {
+        self.deferrals += 1;
+    }
+
+    /// How many retrievals waited for quiescence.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// Resets all state (replica replaced).
+    pub fn reset(&mut self) {
+        self.in_progress = 0;
+        self.oneway_settle_until = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn tracker() -> QuiescenceTracker {
+        QuiescenceTracker::new(Duration::from_micros(50))
+    }
+
+    #[test]
+    fn fresh_tracker_is_quiescent() {
+        let q = tracker();
+        assert!(q.is_quiescent(SimTime::ZERO));
+        assert_eq!(q.earliest_quiescence(t(5)), Some(t(5)));
+    }
+
+    #[test]
+    fn two_way_invocations_block_quiescence() {
+        let mut q = tracker();
+        q.invocation_started();
+        assert!(!q.is_quiescent(t(1)));
+        assert_eq!(q.earliest_quiescence(t(1)), None, "completion unknowable");
+        q.invocation_finished();
+        assert!(q.is_quiescent(t(1)));
+    }
+
+    #[test]
+    fn nested_invocations_all_must_finish() {
+        let mut q = tracker();
+        q.invocation_started();
+        q.invocation_started();
+        q.invocation_finished();
+        assert!(!q.is_quiescent(t(1)), "outer call still running");
+        q.invocation_finished();
+        assert!(q.is_quiescent(t(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finish without start")]
+    fn unbalanced_finish_panics() {
+        tracker().invocation_finished();
+    }
+
+    #[test]
+    fn oneways_occupy_the_window() {
+        let mut q = tracker();
+        q.oneway_dispatched(t(100));
+        assert!(!q.is_quiescent(t(100)));
+        assert!(!q.is_quiescent(t(149)));
+        assert!(q.is_quiescent(t(150)));
+        assert_eq!(q.earliest_quiescence(t(120)), Some(t(150)));
+    }
+
+    #[test]
+    fn overlapping_oneways_extend_the_horizon() {
+        let mut q = tracker();
+        q.oneway_dispatched(t(100)); // settles at 150
+        q.oneway_dispatched(t(130)); // settles at 180
+        assert!(!q.is_quiescent(t(160)));
+        assert!(q.is_quiescent(t(180)));
+        // An earlier oneway never shortens the horizon.
+        q.oneway_dispatched(t(100));
+        assert!(q.is_quiescent(t(180)));
+    }
+
+    #[test]
+    fn deferral_statistics() {
+        let mut q = tracker();
+        q.record_deferral();
+        q.record_deferral();
+        assert_eq!(q.deferrals(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = tracker();
+        q.invocation_started();
+        q.oneway_dispatched(t(100));
+        q.reset();
+        assert!(q.is_quiescent(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,284 @@
+//! GIOP-level fragmentation and reassembly.
+//!
+//! The paper (§6) observes that "the entire application-level state is
+//! encapsulated in a single IIOP message by the ORB", and it is the
+//! *transport* (Totem over Ethernet) that fragments. This module provides
+//! the GIOP 1.1 `Fragment` mechanism used when a single GIOP message must
+//! be carried over a bounded-size channel: the primary message is sent
+//! with `more_fragments` set, followed by `Fragment` messages carrying
+//! the remaining body bytes.
+
+use crate::header::{GiopHeader, MessageType, GIOP_HEADER_LEN};
+use crate::{GiopError, GiopMessage};
+
+/// Splits an encoded GIOP message (`header + body`) into wire chunks of
+/// at most `max_chunk` bytes each, where every chunk is itself a valid
+/// GIOP message (the primary with `more_fragments`, then `Fragment`s).
+///
+/// Returns the original message unchanged (as one chunk) when it fits.
+///
+/// # Panics
+///
+/// Panics if `max_chunk` cannot hold a GIOP header plus one byte of body.
+pub fn fragment_message(encoded: &[u8], max_chunk: usize) -> Vec<Vec<u8>> {
+    assert!(
+        max_chunk > GIOP_HEADER_LEN,
+        "max_chunk {max_chunk} too small for a GIOP header"
+    );
+    if encoded.len() <= max_chunk {
+        return vec![encoded.to_vec()];
+    }
+    let header = GiopHeader::from_bytes(encoded).expect("caller passed a valid GIOP message");
+    let body = &encoded[GIOP_HEADER_LEN..];
+    let payload_per_chunk = max_chunk - GIOP_HEADER_LEN;
+
+    let mut chunks = Vec::new();
+    let mut remaining = body;
+
+    // Primary chunk: original header (re-stamped) + first slice of body.
+    let first = &remaining[..payload_per_chunk.min(remaining.len())];
+    remaining = &remaining[first.len()..];
+    let mut primary_header = header;
+    primary_header.more_fragments = !remaining.is_empty();
+    primary_header.body_len = first.len() as u32;
+    let mut chunk = Vec::with_capacity(GIOP_HEADER_LEN + first.len());
+    chunk.extend_from_slice(&primary_header.to_bytes());
+    chunk.extend_from_slice(first);
+    chunks.push(chunk);
+
+    // Continuation chunks.
+    while !remaining.is_empty() {
+        let take = payload_per_chunk.min(remaining.len());
+        let slice = &remaining[..take];
+        remaining = &remaining[take..];
+        let mut h = GiopHeader::new(MessageType::Fragment, header.endian, take as u32);
+        h.more_fragments = !remaining.is_empty();
+        let mut chunk = Vec::with_capacity(GIOP_HEADER_LEN + take);
+        chunk.extend_from_slice(&h.to_bytes());
+        chunk.extend_from_slice(slice);
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Reassembles fragmented GIOP messages from in-order chunks.
+///
+/// Feed every received chunk to [`Reassembler::push`]; complete messages
+/// come back parsed. Chunks of unfragmented messages pass straight
+/// through.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    /// In-progress primary header + accumulated body, if any.
+    pending: Option<(GiopHeader, Vec<u8>)>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a fragmented message is partially accumulated.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Consumes one wire chunk; returns a complete parsed message when
+    /// one finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError::FragmentProtocol`] on out-of-protocol chunks
+    /// (a continuation with nothing pending, or a new primary while one
+    /// is pending), and parse errors for malformed chunks.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Option<GiopMessage>, GiopError> {
+        let header = GiopHeader::from_bytes(chunk)?;
+        let body = &chunk[GIOP_HEADER_LEN..];
+        if body.len() != header.body_len as usize {
+            return Err(GiopError::SizeMismatch {
+                declared: header.body_len,
+                actual: body.len(),
+            });
+        }
+
+        if header.message_type == MessageType::Fragment {
+            let Some((_, acc)) = self.pending.as_mut() else {
+                return Err(GiopError::FragmentProtocol(
+                    "continuation fragment with no pending message",
+                ));
+            };
+            acc.extend_from_slice(body);
+            if header.more_fragments {
+                return Ok(None);
+            }
+            let (mut primary, acc) = self.pending.take().expect("checked above");
+            primary.more_fragments = false;
+            primary.body_len = acc.len() as u32;
+            let mut full = Vec::with_capacity(GIOP_HEADER_LEN + acc.len());
+            full.extend_from_slice(&primary.to_bytes());
+            full.extend_from_slice(&acc);
+            return GiopMessage::from_bytes(&full).map(Some);
+        }
+
+        if self.pending.is_some() {
+            return Err(GiopError::FragmentProtocol(
+                "new primary message while another is pending",
+            ));
+        }
+
+        if header.more_fragments {
+            self.pending = Some((header, body.to_vec()));
+            Ok(None)
+        } else {
+            GiopMessage::from_bytes(chunk).map(Some)
+        }
+    }
+
+    /// Drops any partially accumulated message (e.g. on membership
+    /// change).
+    pub fn reset(&mut self) {
+        self.pending = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ReplyMessage, ReplyStatus, RequestMessage};
+    use crate::service_context::ServiceContextList;
+
+    fn big_request(n: usize) -> GiopMessage {
+        GiopMessage::Request(RequestMessage {
+            service_context: ServiceContextList::new(),
+            request_id: 9,
+            response_expected: true,
+            object_key: b"obj".to_vec(),
+            operation: "set_state".into(),
+            body: (0..n).map(|i| (i % 251) as u8).collect(),
+        })
+    }
+
+    #[test]
+    fn small_message_passes_through_unfragmented() {
+        let msg = big_request(10);
+        let encoded = msg.to_bytes().unwrap();
+        let chunks = fragment_message(&encoded, 1472);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], encoded);
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(&chunks[0]).unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let msg = big_request(350_000);
+        let encoded = msg.to_bytes().unwrap();
+        let chunks = fragment_message(&encoded, 1472);
+        assert!(chunks.len() > 200, "got {} chunks", chunks.len());
+        assert!(chunks.iter().all(|c| c.len() <= 1472));
+        let mut r = Reassembler::new();
+        let mut result = None;
+        for (i, c) in chunks.iter().enumerate() {
+            let out = r.push(c).unwrap();
+            if i + 1 < chunks.len() {
+                assert!(out.is_none(), "early completion at chunk {i}");
+                assert!(r.has_pending());
+            } else {
+                result = out;
+            }
+        }
+        assert_eq!(result, Some(msg));
+        assert!(!r.has_pending());
+    }
+
+    #[test]
+    fn exact_boundary_sizes() {
+        // Message exactly at, one below, and one above the chunk size.
+        for extra in [0usize, 1, 2, 100] {
+            let msg = big_request(1000 + extra);
+            let encoded = msg.to_bytes().unwrap();
+            let max = encoded.len() - extra.min(1); // force fragmentation when extra>0
+            let chunks = fragment_message(&encoded, max.max(GIOP_HEADER_LEN + 1));
+            let mut r = Reassembler::new();
+            let mut out = None;
+            for c in &chunks {
+                out = r.push(c).unwrap();
+            }
+            assert_eq!(out, Some(msg));
+        }
+    }
+
+    #[test]
+    fn fragment_count_matches_prediction() {
+        let msg = big_request(10_000);
+        let encoded = msg.to_bytes().unwrap();
+        let max = 1472;
+        let chunks = fragment_message(&encoded, max);
+        let body_len = encoded.len() - GIOP_HEADER_LEN;
+        let per = max - GIOP_HEADER_LEN;
+        assert_eq!(chunks.len(), body_len.div_ceil(per));
+    }
+
+    #[test]
+    fn orphan_continuation_rejected() {
+        let frag = GiopMessage::Fragment {
+            more: false,
+            data: vec![1],
+        }
+        .to_bytes()
+        .unwrap();
+        let mut r = Reassembler::new();
+        assert!(matches!(
+            r.push(&frag),
+            Err(GiopError::FragmentProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn interleaved_primary_rejected() {
+        let msg = big_request(5_000);
+        let chunks = fragment_message(&msg.to_bytes().unwrap(), 1472);
+        let mut r = Reassembler::new();
+        r.push(&chunks[0]).unwrap();
+        let other = big_request(3_000);
+        let other_chunks = fragment_message(&other.to_bytes().unwrap(), 1472);
+        assert!(matches!(
+            r.push(&other_chunks[0]),
+            Err(GiopError::FragmentProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn reset_discards_pending() {
+        let msg = big_request(5_000);
+        let chunks = fragment_message(&msg.to_bytes().unwrap(), 1472);
+        let mut r = Reassembler::new();
+        r.push(&chunks[0]).unwrap();
+        assert!(r.has_pending());
+        r.reset();
+        assert!(!r.has_pending());
+    }
+
+    #[test]
+    fn reply_messages_fragment_too() {
+        let msg = GiopMessage::Reply(ReplyMessage {
+            service_context: ServiceContextList::new(),
+            request_id: 3,
+            reply_status: ReplyStatus::NoException,
+            body: vec![7; 20_000],
+        });
+        let chunks = fragment_message(&msg.to_bytes().unwrap(), 1472);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in &chunks {
+            out = r.push(c).unwrap();
+        }
+        assert_eq!(out, Some(msg));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_max_chunk_panics() {
+        fragment_message(&[0; 100], 12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Interoperable Object References (IORs).
+//!
+//! An IOR is the stringifiable handle a server publishes so that clients
+//! anywhere can reach one of its objects: a repository type id plus one
+//! or more tagged profiles, each describing an access path. The IIOP
+//! profile carries host, port, and the opaque object key; tagged
+//! components inside it advertise server capabilities — notably
+//! [`TAG_CODE_SETS`], which is where a client-side ORB learns the
+//! server's supported code sets before the §4.2.2 negotiation.
+
+use crate::GiopError;
+use eternal_cdr::{CdrDecoder, CdrEncoder, Endian};
+
+/// Profile tag for IIOP.
+pub const TAG_INTERNET_IOP: u32 = 0;
+
+/// Component tag advertising the server's native/conversion code sets.
+pub const TAG_CODE_SETS: u32 = 1;
+
+/// A tagged component inside an IIOP profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedComponent {
+    /// Component tag.
+    pub tag: u32,
+    /// Raw component payload.
+    pub data: Vec<u8>,
+}
+
+/// The IIOP profile: how to reach an object over TCP (here: over the
+/// simulated transport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IiopProfile {
+    /// IIOP version (1.1 here).
+    pub version: (u8, u8),
+    /// Host name (in the simulation: a processor name like `"P3"`).
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// Opaque key identifying the object within its ORB.
+    pub object_key: Vec<u8>,
+    /// Capability advertisements.
+    pub components: Vec<TaggedComponent>,
+}
+
+/// An Interoperable Object Reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ior {
+    /// Repository type id, e.g. `"IDL:Bank/Account:1.0"`.
+    pub type_id: String,
+    /// The IIOP profile (this implementation publishes exactly one).
+    pub profile: IiopProfile,
+}
+
+impl Ior {
+    /// Encodes to the raw CDR form.
+    pub fn to_cdr_bytes(&self) -> Result<Vec<u8>, GiopError> {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u8(Endian::Big.flag());
+        enc.write_string(&self.type_id)?;
+        enc.write_u32(1); // one profile
+        enc.write_u32(TAG_INTERNET_IOP);
+        let profile = &self.profile;
+        let mut err = Ok(());
+        enc.write_encapsulation(|inner| {
+            err = (|| -> Result<(), GiopError> {
+                inner.write_u8(profile.version.0);
+                inner.write_u8(profile.version.1);
+                inner.write_string(&profile.host)?;
+                inner.write_u16(profile.port);
+                inner.write_octet_seq(&profile.object_key);
+                inner.write_u32(profile.components.len() as u32);
+                for c in &profile.components {
+                    inner.write_u32(c.tag);
+                    inner.write_octet_seq(&c.data);
+                }
+                Ok(())
+            })();
+        });
+        err?;
+        Ok(enc.into_bytes())
+    }
+
+    /// Decodes from the raw CDR form.
+    pub fn from_cdr_bytes(bytes: &[u8]) -> Result<Ior, GiopError> {
+        if bytes.is_empty() {
+            return Err(GiopError::BadIor("empty"));
+        }
+        let endian = Endian::from_flag(bytes[0]);
+        let mut dec = CdrDecoder::new(bytes, endian);
+        dec.read_u8()?;
+        let type_id = dec.read_string()?;
+        let n_profiles = dec.read_u32()?;
+        if n_profiles == 0 {
+            return Err(GiopError::BadIor("no profiles"));
+        }
+        let tag = dec.read_u32()?;
+        if tag != TAG_INTERNET_IOP {
+            return Err(GiopError::BadIor("first profile is not IIOP"));
+        }
+        let profile = dec.read_encapsulation(|inner| {
+            let version = (inner.read_u8()?, inner.read_u8()?);
+            let host = inner.read_string()?;
+            let port = inner.read_u16()?;
+            let object_key = inner.read_octet_seq()?;
+            let n = inner.read_u32()?;
+            let mut components = Vec::with_capacity(n.min(32) as usize);
+            for _ in 0..n {
+                let tag = inner.read_u32()?;
+                let data = inner.read_octet_seq()?;
+                components.push(TaggedComponent { tag, data });
+            }
+            Ok(IiopProfile {
+                version,
+                host,
+                port,
+                object_key,
+                components,
+            })
+        })?;
+        Ok(Ior { type_id, profile })
+    }
+
+    /// The classic stringified form: `"IOR:"` + lowercase hex of the CDR
+    /// bytes.
+    pub fn to_string_ior(&self) -> Result<String, GiopError> {
+        let bytes = self.to_cdr_bytes()?;
+        let mut s = String::with_capacity(4 + bytes.len() * 2);
+        s.push_str("IOR:");
+        for b in bytes {
+            use std::fmt::Write;
+            write!(s, "{b:02x}").expect("writing to String cannot fail");
+        }
+        Ok(s)
+    }
+
+    /// Parses the stringified form.
+    pub fn from_string_ior(s: &str) -> Result<Ior, GiopError> {
+        let hex = s.strip_prefix("IOR:").ok_or(GiopError::BadIor("missing IOR: prefix"))?;
+        if hex.len() % 2 != 0 {
+            return Err(GiopError::BadIor("odd hex length"));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        let chars: Vec<u8> = hex.bytes().collect();
+        for pair in chars.chunks(2) {
+            let hi = hex_val(pair[0]).ok_or(GiopError::BadIor("bad hex digit"))?;
+            let lo = hex_val(pair[1]).ok_or(GiopError::BadIor("bad hex digit"))?;
+            bytes.push(hi << 4 | lo);
+        }
+        Ior::from_cdr_bytes(&bytes)
+    }
+
+    /// Finds the first component with the given tag in the profile.
+    pub fn find_component(&self, tag: u32) -> Option<&TaggedComponent> {
+        self.profile.components.iter().find(|c| c.tag == tag)
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ior {
+        Ior {
+            type_id: "IDL:Bank/Account:1.0".into(),
+            profile: IiopProfile {
+                version: (1, 1),
+                host: "P3".into(),
+                port: 2809,
+                object_key: b"poa/account-7".to_vec(),
+                components: vec![TaggedComponent {
+                    tag: TAG_CODE_SETS,
+                    data: vec![1, 2, 3, 4],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn cdr_round_trip() {
+        let ior = sample();
+        let back = Ior::from_cdr_bytes(&ior.to_cdr_bytes().unwrap()).unwrap();
+        assert_eq!(back, ior);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let ior = sample();
+        let s = ior.to_string_ior().unwrap();
+        assert!(s.starts_with("IOR:"));
+        assert_eq!(Ior::from_string_ior(&s).unwrap(), ior);
+    }
+
+    #[test]
+    fn find_component_by_tag() {
+        let ior = sample();
+        assert!(ior.find_component(TAG_CODE_SETS).is_some());
+        assert!(ior.find_component(999).is_none());
+    }
+
+    #[test]
+    fn malformed_strings_rejected() {
+        assert!(Ior::from_string_ior("NOPE:00").is_err());
+        assert!(Ior::from_string_ior("IOR:0").is_err());
+        assert!(Ior::from_string_ior("IOR:zz").is_err());
+        assert!(Ior::from_cdr_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn uppercase_hex_accepted() {
+        let ior = sample();
+        let s = ior.to_string_ior().unwrap().to_uppercase().replace("IOR:", "IOR:");
+        // Uppercasing the prefix too would break it; rebuild carefully.
+        let hex = &ior.to_string_ior().unwrap()[4..];
+        let s2 = format!("IOR:{}", hex.to_uppercase());
+        assert_eq!(Ior::from_string_ior(&s2).unwrap(), ior);
+        let _ = s;
+    }
+
+    #[test]
+    fn ior_without_profiles_rejected() {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u8(0);
+        enc.write_string("IDL:x:1.0").unwrap();
+        enc.write_u32(0);
+        assert!(matches!(
+            Ior::from_cdr_bytes(&enc.into_bytes()),
+            Err(GiopError::BadIor("no profiles"))
+        ));
+    }
+}

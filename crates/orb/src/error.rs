@@ -1,0 +1,70 @@
+//! Error type for ORB operations.
+
+use eternal_giop::GiopError;
+use std::fmt;
+
+/// An error raised by the ORB or POA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrbError {
+    /// The message could not be parsed.
+    Giop(GiopError),
+    /// No servant is registered under the object key.
+    ObjectNotExist(String),
+    /// A servant was already active under the key.
+    ObjectAlreadyActive(String),
+    /// The connection id is unknown.
+    UnknownConnection(u64),
+    /// The message type was not valid in this direction (e.g. a Request
+    /// arriving at a client connection).
+    UnexpectedMessage(&'static str),
+    /// The servant rejected the operation.
+    Servant(crate::servant::ServantError),
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::Giop(e) => write!(f, "GIOP error: {e}"),
+            OrbError::ObjectNotExist(k) => write!(f, "no servant for object key {k:?}"),
+            OrbError::ObjectAlreadyActive(k) => write!(f, "servant already active for {k:?}"),
+            OrbError::UnknownConnection(id) => write!(f, "unknown connection {id}"),
+            OrbError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
+            OrbError::Servant(e) => write!(f, "servant error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrbError::Giop(e) => Some(e),
+            OrbError::Servant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GiopError> for OrbError {
+    fn from(e: GiopError) -> Self {
+        OrbError::Giop(e)
+    }
+}
+
+impl From<crate::servant::ServantError> for OrbError {
+    fn from(e: crate::servant::ServantError) -> Self {
+        OrbError::Servant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: OrbError = GiopError::BadIor("x").into();
+        assert!(e.to_string().contains("GIOP error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&OrbError::UnknownConnection(3)).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! A miniature interface repository: IDL-style interface definitions
+//! that the POA can enforce at dispatch time.
+//!
+//! CORBA ORBs know each object's interface from its IDL; stubs and
+//! skeletons are generated from it, and the Interface Repository makes
+//! it queryable at runtime. This module provides the runtime half: an
+//! [`InterfaceDef`] describes the operations an object supports (name +
+//! oneway/two-way kind), and a POA with a registered interface rejects
+//! out-of-interface operations *before* they reach the servant —
+//! matching a real ORB, where no skeleton method exists to call.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether an operation returns a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperationKind {
+    /// Normal request/reply operation.
+    TwoWay,
+    /// `oneway`: no reply is ever produced (and quiescence tracking
+    /// must not wait for one — paper §5).
+    OneWay,
+}
+
+/// One IDL operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDef {
+    /// The operation name.
+    pub name: String,
+    /// Reply behaviour.
+    pub kind: OperationKind,
+}
+
+/// An IDL interface: repository id plus its operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDef {
+    /// Repository id, e.g. `"IDL:Bank/Account:1.0"`.
+    pub repo_id: String,
+    operations: BTreeMap<String, OperationDef>,
+    /// Whether the interface inherits FT-CORBA's `Checkpointable`
+    /// (adding `get_state`/`set_state`, as every replicated object
+    /// must — paper §4.1).
+    pub checkpointable: bool,
+}
+
+impl InterfaceDef {
+    /// Starts an interface definition (builder style).
+    pub fn new(repo_id: impl Into<String>) -> Self {
+        InterfaceDef {
+            repo_id: repo_id.into(),
+            operations: BTreeMap::new(),
+            checkpointable: false,
+        }
+    }
+
+    /// Adds a two-way operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate operation names (an IDL compile error).
+    pub fn two_way(mut self, name: &str) -> Self {
+        self.add(name, OperationKind::TwoWay);
+        self
+    }
+
+    /// Adds a `oneway` operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate operation names.
+    pub fn one_way(mut self, name: &str) -> Self {
+        self.add(name, OperationKind::OneWay);
+        self
+    }
+
+    /// Marks the interface as inheriting `Checkpointable`
+    /// (`get_state`/`set_state` become part of it).
+    pub fn inherit_checkpointable(mut self) -> Self {
+        self.checkpointable = true;
+        self
+    }
+
+    fn add(&mut self, name: &str, kind: OperationKind) {
+        assert!(
+            !name.is_empty() && name != "get_state" && name != "set_state",
+            "operation name {name:?} is reserved or empty"
+        );
+        let prev = self.operations.insert(
+            name.to_owned(),
+            OperationDef {
+                name: name.to_owned(),
+                kind,
+            },
+        );
+        assert!(prev.is_none(), "duplicate operation {name:?}");
+    }
+
+    /// Looks up an operation (including the inherited `Checkpointable`
+    /// pair when applicable).
+    pub fn operation(&self, name: &str) -> Option<OperationDef> {
+        if self.checkpointable && (name == "get_state" || name == "set_state") {
+            return Some(OperationDef {
+                name: name.to_owned(),
+                kind: OperationKind::TwoWay,
+            });
+        }
+        self.operations.get(name).cloned()
+    }
+
+    /// Whether `name` is part of this interface.
+    pub fn has_operation(&self, name: &str) -> bool {
+        self.operation(name).is_some()
+    }
+
+    /// All declared operations, in name order (excluding the inherited
+    /// `Checkpointable` pair).
+    pub fn operations(&self) -> impl Iterator<Item = &OperationDef> {
+        self.operations.values()
+    }
+}
+
+impl fmt::Display for InterfaceDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "interface {} {{", self.repo_id)?;
+        if self.checkpointable {
+            writeln!(f, "    // inherits Checkpointable (get_state/set_state)")?;
+        }
+        for op in self.operations.values() {
+            match op.kind {
+                OperationKind::TwoWay => writeln!(f, "    {}(…);", op.name)?,
+                OperationKind::OneWay => writeln!(f, "    oneway {}(…);", op.name)?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account() -> InterfaceDef {
+        InterfaceDef::new("IDL:Bank/Account:1.0")
+            .two_way("deposit")
+            .two_way("withdraw")
+            .two_way("balance")
+            .one_way("notify")
+            .inherit_checkpointable()
+    }
+
+    #[test]
+    fn lookups_and_kinds() {
+        let i = account();
+        assert!(i.has_operation("deposit"));
+        assert_eq!(
+            i.operation("notify").unwrap().kind,
+            OperationKind::OneWay
+        );
+        assert!(!i.has_operation("transfer"));
+        assert_eq!(i.operations().count(), 4);
+    }
+
+    #[test]
+    fn checkpointable_inheritance() {
+        let plain = InterfaceDef::new("IDL:X:1.0").two_way("op");
+        assert!(!plain.has_operation("get_state"));
+        let ckpt = plain.clone().inherit_checkpointable();
+        assert!(ckpt.has_operation("get_state"));
+        assert!(ckpt.has_operation("set_state"));
+        assert_eq!(
+            ckpt.operation("set_state").unwrap().kind,
+            OperationKind::TwoWay
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_operations_rejected() {
+        InterfaceDef::new("IDL:X:1.0").two_way("op").one_way("op");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_names_rejected() {
+        InterfaceDef::new("IDL:X:1.0").two_way("get_state");
+    }
+
+    #[test]
+    fn display_renders_idl_like_text() {
+        let text = account().to_string();
+        assert!(text.contains("interface IDL:Bank/Account:1.0"));
+        assert!(text.contains("oneway notify"));
+        assert!(text.contains("Checkpointable"));
+    }
+}

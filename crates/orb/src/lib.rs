@@ -1,0 +1,87 @@
+//! A miniature **Object Request Broker (ORB) + Portable Object Adapter
+//! (POA)**, standing in for the commercial ORBs (VisiBroker, Orbix,
+//! omniORB, …) that the Eternal system runs beneath.
+//!
+//! The paper's central observation (§4.2) is that an ORB is *not*
+//! stateless: it keeps per-connection state that must be synchronized
+//! when a replica is recovered, or the recovered replica cannot
+//! communicate. This crate reproduces exactly the observable,
+//! recovery-relevant behaviours the paper describes:
+//!
+//! * **GIOP request identifiers** (§4.2.1) — each client connection owns
+//!   a `request_id` counter; replies whose ids do not match an
+//!   outstanding request are *discarded*. A recovered replica whose ORB
+//!   restarts the counter at 0 desynchronizes the whole request/reply
+//!   match, and one side waits forever.
+//! * **Client–server handshake** (§4.2.2) — on first contact the client
+//!   ORB negotiates transmission code sets and (between same-vendor
+//!   ORBs) a *short object key* alias. Both sides cache the result
+//!   per-connection; a server replica that never saw the handshake
+//!   discards requests that use the alias.
+//! * **POA dispatch state** — servant registry, threading policy, and
+//!   the `Checkpointable` servant interface (`get_state`/`set_state`)
+//!   required of every replicated object by the FT-CORBA standard.
+//!
+//! The ORB is sans-io: it turns invocation calls into IIOP bytes and
+//! consumes IIOP bytes, so a transport — or Eternal's interceptor —
+//! can sit at its socket boundary, exactly where the paper puts it.
+//!
+//! # Example
+//!
+//! ```
+//! use eternal_orb::{ClientConnection, Orb, ObjectKey, ServerConnection};
+//! use eternal_orb::servant::{CheckpointableServant, Servant, ServantError};
+//! use eternal_cdr::Any;
+//!
+//! struct Counter(u32);
+//! impl Servant for Counter {
+//!     fn dispatch(&mut self, op: &str, _args: &[u8]) -> Result<Vec<u8>, ServantError> {
+//!         match op {
+//!             "increment" => { self.0 += 1; Ok(self.0.to_be_bytes().to_vec()) }
+//!             _ => Err(ServantError::BadOperation(op.to_owned())),
+//!         }
+//!     }
+//! }
+//! impl CheckpointableServant for Counter {
+//!     fn get_state(&self) -> Result<Any, ServantError> { Ok(Any::from(self.0)) }
+//!     fn set_state(&mut self, s: &Any) -> Result<(), ServantError> {
+//!         match &s.value {
+//!             eternal_cdr::Value::ULong(v) => { self.0 = *v; Ok(()) }
+//!             _ => Err(ServantError::InvalidState),
+//!         }
+//!     }
+//! }
+//!
+//! let mut server = Orb::new("P1");
+//! let key = ObjectKey::new(b"counter".to_vec());
+//! server.poa_mut().activate_checkpointable(key.clone(), Box::new(Counter(0)));
+//!
+//! let mut client = ClientConnection::new(1);
+//! let mut srv_conn = ServerConnection::new(1);
+//! let (id, request) = client.build_request(&key, "increment", &[], true).unwrap();
+//! let reply = srv_conn.handle_request(&request, server.poa_mut()).unwrap().unwrap();
+//! let outcome = client.handle_reply(&reply).unwrap();
+//! assert_eq!(outcome.request_id, id);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod idl;
+pub mod object;
+pub mod orb_core;
+pub mod poa;
+pub mod servant;
+pub mod server;
+pub mod state;
+
+pub use client::{ClientConnection, ReplyOutcome};
+pub use error::OrbError;
+pub use idl::{InterfaceDef, OperationDef, OperationKind};
+pub use object::ObjectKey;
+pub use orb_core::Orb;
+pub use poa::{Poa, ThreadingPolicy};
+pub use server::{RequestDisposition, ServerConnection};
+pub use state::{ClientConnectionState, NegotiatedState, OrbLevelState, ServerConnectionState};

@@ -1,0 +1,162 @@
+//! Servant traits: the application-side implementation of a CORBA
+//! object, and the `Checkpointable` interface the FT-CORBA standard
+//! requires of every replicated object (paper §4.1, Figure 3).
+
+use eternal_cdr::Any;
+use std::fmt;
+
+/// An error a servant can raise while handling an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServantError {
+    /// The operation name is not part of the object's interface.
+    BadOperation(String),
+    /// The arguments failed to unmarshal or were out of range.
+    BadArguments(String),
+    /// `get_state()` was invoked but the object has no state to give
+    /// (FT-CORBA's `NoStateAvailable` exception).
+    NoStateAvailable,
+    /// `set_state()` was invoked with an unusable state value
+    /// (FT-CORBA's `InvalidState` exception).
+    InvalidState,
+    /// An application-defined (IDL user) exception.
+    UserException(String),
+}
+
+impl fmt::Display for ServantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServantError::BadOperation(op) => write!(f, "unknown operation {op:?}"),
+            ServantError::BadArguments(why) => write!(f, "bad arguments: {why}"),
+            ServantError::NoStateAvailable => write!(f, "NoStateAvailable"),
+            ServantError::InvalidState => write!(f, "InvalidState"),
+            ServantError::UserException(id) => write!(f, "user exception {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServantError {}
+
+/// The implementation of a CORBA object: receives unmarshalled operation
+/// names with raw CDR argument bytes and returns raw CDR result bytes.
+pub trait Servant: Send {
+    /// Executes `operation` with CDR-encoded `args`, returning the
+    /// CDR-encoded result.
+    fn dispatch(&mut self, operation: &str, args: &[u8]) -> Result<Vec<u8>, ServantError>;
+
+    /// The repository type id, used in published IORs.
+    fn type_id(&self) -> &str {
+        "IDL:Eternal/Object:1.0"
+    }
+}
+
+/// The FT-CORBA `Checkpointable` interface (paper Figure 3):
+///
+/// ```idl
+/// typedef any State;
+/// exception NoStateAvailable {};
+/// exception InvalidState {};
+/// interface Checkpointable {
+///     State get_state() raises(NoStateAvailable);
+///     void set_state(in State s) raises(InvalidState);
+/// };
+/// ```
+///
+/// Every replicated object must implement it; the recovery mechanisms
+/// invoke `get_state`/`set_state` as ordinary (totally ordered)
+/// operations during checkpointing and state transfer.
+pub trait CheckpointableServant: Servant {
+    /// Returns the object's current application-level state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServantError::NoStateAvailable`] if the state cannot be
+    /// captured right now.
+    fn get_state(&self) -> Result<Any, ServantError>;
+
+    /// Overwrites the object's application-level state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServantError::InvalidState`] if `state` is unusable.
+    fn set_state(&mut self, state: &Any) -> Result<(), ServantError>;
+}
+
+/// Operation name the POA routes to [`CheckpointableServant::get_state`].
+pub const OP_GET_STATE: &str = "get_state";
+/// Operation name the POA routes to [`CheckpointableServant::set_state`].
+pub const OP_SET_STATE: &str = "set_state";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eternal_cdr::Value;
+
+    struct Echo;
+    impl Servant for Echo {
+        fn dispatch(&mut self, operation: &str, args: &[u8]) -> Result<Vec<u8>, ServantError> {
+            match operation {
+                "echo" => Ok(args.to_vec()),
+                other => Err(ServantError::BadOperation(other.to_owned())),
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_routes_by_operation() {
+        let mut e = Echo;
+        assert_eq!(e.dispatch("echo", &[1, 2]).unwrap(), vec![1, 2]);
+        assert!(matches!(
+            e.dispatch("nope", &[]),
+            Err(ServantError::BadOperation(_))
+        ));
+        assert_eq!(e.type_id(), "IDL:Eternal/Object:1.0");
+    }
+
+    struct Stateful(u32);
+    impl Servant for Stateful {
+        fn dispatch(&mut self, _: &str, _: &[u8]) -> Result<Vec<u8>, ServantError> {
+            Ok(vec![])
+        }
+    }
+    impl CheckpointableServant for Stateful {
+        fn get_state(&self) -> Result<Any, ServantError> {
+            Ok(Any::from(self.0))
+        }
+        fn set_state(&mut self, state: &Any) -> Result<(), ServantError> {
+            match &state.value {
+                Value::ULong(v) => {
+                    self.0 = *v;
+                    Ok(())
+                }
+                _ => Err(ServantError::InvalidState),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointable_round_trip() {
+        let mut s = Stateful(7);
+        let snap = s.get_state().unwrap();
+        s.0 = 99;
+        s.set_state(&snap).unwrap();
+        assert_eq!(s.0, 7);
+    }
+
+    #[test]
+    fn invalid_state_rejected() {
+        let mut s = Stateful(1);
+        assert_eq!(
+            s.set_state(&Any::from("wrong shape")),
+            Err(ServantError::InvalidState)
+        );
+        assert_eq!(s.0, 1, "state unchanged after rejection");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ServantError::NoStateAvailable.to_string(), "NoStateAvailable");
+        assert!(ServantError::BadOperation("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

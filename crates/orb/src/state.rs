@@ -1,0 +1,79 @@
+//! Explicit representations of **ORB/POA-level state** (paper §4.2).
+//!
+//! These snapshots exist for two purposes:
+//!
+//! 1. The Eternal recovery mechanisms transfer an equivalent of this
+//!    state (learned *by observing IIOP traffic*, not by reading these
+//!    structures — today's ORBs expose no such hooks) and inject it into
+//!    the ORB of a recovered replica.
+//! 2. Tests compare the observation-based reconstruction against this
+//!    ground truth to prove the interceptor learned the right values.
+
+use eternal_giop::CodeSetContext;
+use std::collections::BTreeMap;
+
+/// The outcome of the client–server handshake, cached per connection by
+/// both sides (paper §4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NegotiatedState {
+    /// Agreed transmission code sets, if negotiation completed.
+    pub code_sets: Option<CodeSetContext>,
+    /// Vendor shortcut: alias → full object key bytes.
+    pub short_keys: BTreeMap<u32, Vec<u8>>,
+}
+
+impl NegotiatedState {
+    /// Whether any negotiation result is cached.
+    pub fn is_negotiated(&self) -> bool {
+        self.code_sets.is_some() || !self.short_keys.is_empty()
+    }
+}
+
+/// Client-connection state the §4.2.1/§4.2.2 failure modes revolve
+/// around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConnectionState {
+    /// The next GIOP request id this connection will assign.
+    pub next_request_id: u32,
+    /// Ids of requests sent but not yet replied to.
+    pub outstanding: Vec<u32>,
+    /// Handshake results this client holds.
+    pub negotiated: NegotiatedState,
+}
+
+/// Server-connection state (the receiving half of the handshake).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConnectionState {
+    /// Handshake results this server connection holds.
+    pub negotiated: NegotiatedState,
+    /// Highest request id seen from the peer (used by real ORBs for
+    /// duplicate suppression on rebind).
+    pub last_seen_request_id: Option<u32>,
+}
+
+/// A full ORB-level snapshot: every connection's state plus POA counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OrbLevelState {
+    /// Client connections by connection id.
+    pub clients: BTreeMap<u64, ClientConnectionState>,
+    /// Server connections by connection id.
+    pub servers: BTreeMap<u64, ServerConnectionState>,
+    /// Requests the POA has dispatched.
+    pub poa_dispatch_count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiated_state_flags() {
+        let mut n = NegotiatedState::default();
+        assert!(!n.is_negotiated());
+        n.short_keys.insert(1, b"full".to_vec());
+        assert!(n.is_negotiated());
+        let mut n2 = NegotiatedState::default();
+        n2.code_sets = Some(CodeSetContext::default_sets());
+        assert!(n2.is_negotiated());
+    }
+}

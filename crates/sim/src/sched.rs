@@ -1,0 +1,226 @@
+//! The discrete-event scheduler: a priority queue of `(time, event)`
+//! pairs with a deterministic FIFO tie-break for events scheduled at the
+//! same instant.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+/// A handle that identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO), which keeps whole-system simulations
+/// reproducible run-to-run.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently
+    /// popped event (or zero if none has been popped).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current time (events cannot
+    /// be scheduled in the past).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule event in the past ({time} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        EventId(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Cancelled events are skipped. Returns `None` when the
+    /// queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the next pending event without removing
+    /// it. Lazily discards cancelled entries from the top of the heap.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.pending.contains(&e.seq) {
+                return Some(e.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(30), "c");
+        s.schedule_at(SimTime::from_nanos(10), "a");
+        s.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_popped_event() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(42), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(100), 1u32);
+        s.pop();
+        s.schedule_after(Duration::from_nanos(10), 2u32);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_nanos(110));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(100), ());
+        s.pop();
+        s.schedule_at(SimTime::from_nanos(50), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_nanos(10), "a");
+        s.schedule_at(SimTime::from_nanos(20), "b");
+        assert_eq!(s.len(), 2);
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double-cancel reports false");
+        assert_eq!(s.len(), 1);
+        let (_, e) = s.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_nanos(10), "a");
+        s.schedule_at(SimTime::from_nanos(20), "b");
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(10)));
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn empty_scheduler_behaviour() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.peek_time(), None);
+        assert!(s.pop().is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! Small descriptive-statistics helpers for experiment harnesses:
+//! online summaries and percentile extraction over duration samples.
+
+use crate::time::Duration;
+
+/// An accumulating summary of duration samples: count, mean, min, max,
+/// and exact percentiles (samples are retained).
+#[derive(Debug, Clone, Default)]
+pub struct DurationSummary {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl DurationSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, if any samples exist.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        Some(Duration::from_nanos((sum / self.samples.len() as u128) as u64))
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<Duration> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().copied()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0.0–1.0), nearest-rank.
+    pub fn percentile(&mut self, p: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((self.samples.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<Duration> {
+        self.percentile(0.5)
+    }
+
+    /// Sample standard deviation (n−1 denominator), in nanoseconds.
+    pub fn std_dev_nanos(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = self.mean()?.as_nanos() as f64;
+        let var: f64 = self
+            .samples
+            .iter()
+            .map(|d| {
+                let x = d.as_nanos() as f64 - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// One-line human-readable summary.
+    pub fn describe(&mut self) -> String {
+        match (self.mean(), self.min(), self.max()) {
+            (Some(mean), Some(min), Some(max)) => {
+                let p50 = self.percentile(0.5).expect("non-empty");
+                let p99 = self.percentile(0.99).expect("non-empty");
+                format!(
+                    "n={} mean={mean} p50={p50} p99={p99} min={min} max={max}",
+                    self.count()
+                )
+            }
+            _ => "n=0".to_owned(),
+        }
+    }
+}
+
+/// A fixed-bucket histogram over durations, for shape summaries in
+/// experiment output (log-spaced buckets work well for latencies).
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    bounds: Vec<Duration>,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl DurationHistogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<Duration>) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        DurationHistogram {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+        }
+    }
+
+    /// Log-spaced bounds from `lo` to `hi` with `buckets` buckets.
+    pub fn log_spaced(lo: Duration, hi: Duration, buckets: usize) -> Self {
+        assert!(buckets >= 2 && hi > lo && !lo.is_zero());
+        let lo_f = lo.as_nanos() as f64;
+        let hi_f = hi.as_nanos() as f64;
+        let ratio = (hi_f / lo_f).powf(1.0 / (buckets - 1) as f64);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = lo_f;
+        for _ in 0..buckets {
+            bounds.push(Duration::from_nanos(b.round() as u64));
+            b *= ratio;
+        }
+        bounds.dedup();
+        DurationHistogram::new(bounds)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        match self.bounds.iter().position(|&b| d <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// `(upper bound, count)` pairs plus the overflow count.
+    pub fn buckets(&self) -> (Vec<(Duration, u64)>, u64) {
+        (
+            self.bounds.iter().copied().zip(self.counts.iter().copied()).collect(),
+            self.overflow,
+        )
+    }
+
+    /// Renders an ASCII bar chart (for experiment logs).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (b, &c) in self.bounds.iter().zip(&self.counts) {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{b:>12} | {bar} {c}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>12} | {}\n", "overflow", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = DurationSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        for v in [1u64, 2, 3, 4, 100] {
+            s.record(ms(v));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), Some(ms(22)));
+        assert_eq!(s.min(), Some(ms(1)));
+        assert_eq!(s.max(), Some(ms(100)));
+        assert_eq!(s.median(), Some(ms(3)));
+        assert_eq!(s.percentile(1.0), Some(ms(100)));
+        assert!(s.std_dev_nanos().unwrap() > 0.0);
+        assert!(s.describe().contains("n=5"));
+    }
+
+    #[test]
+    fn percentiles_after_interleaved_records() {
+        let mut s = DurationSummary::new();
+        s.record(ms(5));
+        assert_eq!(s.median(), Some(ms(5)));
+        s.record(ms(1)); // unsorted again
+        assert_eq!(s.percentile(0.0), Some(ms(1)));
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = DurationHistogram::new(vec![ms(1), ms(10), ms(100)]);
+        h.record(ms(1)); // inclusive upper bound
+        h.record(ms(5));
+        h.record(ms(50));
+        h.record(ms(500)); // overflow
+        let (buckets, overflow) = h.buckets();
+        assert_eq!(
+            buckets.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+            vec![1, 1, 1]
+        );
+        assert_eq!(overflow, 1);
+        assert_eq!(h.total(), 4);
+        let render = h.render(10);
+        assert!(render.contains("overflow"));
+    }
+
+    #[test]
+    fn log_spaced_bounds_are_ascending() {
+        let h = DurationHistogram::log_spaced(ms(1), ms(1000), 7);
+        let (buckets, _) = h.buckets();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.first().unwrap().0, ms(1));
+        assert_eq!(buckets.last().unwrap().0, ms(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unordered_bounds_rejected() {
+        DurationHistogram::new(vec![ms(10), ms(1)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! A structured event trace.
+//!
+//! Simulations append [`TraceEvent`]s as they run; tests assert over the
+//! recorded sequence (e.g. "the `set_state` delivery at the recovering
+//! replica precedes every normal invocation delivered to it"), and the
+//! benchmark harness mines it for the timings reported in
+//! `EXPERIMENTS.md`.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Which component recorded it (e.g. `"P2/recovery"`).
+    pub source: String,
+    /// Machine-matchable event kind (e.g. `"set_state.delivered"`).
+    pub kind: String,
+    /// Free-form details.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} {}",
+            self.at, self.source, self.kind, self.detail
+        )
+    }
+}
+
+/// An append-only trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled trace.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that discards all events (for benches).
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        source: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                source: source.into(),
+                kind: kind.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose kind matches `kind` exactly.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The first event of the given kind, if any.
+    pub fn first_of_kind(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// The last event of the given kind, if any.
+    pub fn last_of_kind(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.kind == kind)
+    }
+
+    /// Index of the first event matching `kind` (for ordering
+    /// assertions), if any.
+    pub fn position_of(&self, kind: &str) -> Option<usize> {
+        self.events.iter().position(|e| e.kind == kind)
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_nanos(1), "a", "k1", "");
+        t.record(SimTime::from_nanos(2), "b", "k2", "x");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].detail, "x");
+    }
+
+    #[test]
+    fn disabled_trace_discards() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, "a", "k", "");
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn kind_queries() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_nanos(1), "a", "x", "1");
+        t.record(SimTime::from_nanos(2), "a", "y", "2");
+        t.record(SimTime::from_nanos(3), "a", "x", "3");
+        assert_eq!(t.of_kind("x").count(), 2);
+        assert_eq!(t.first_of_kind("x").unwrap().detail, "1");
+        assert_eq!(t.last_of_kind("x").unwrap().detail, "3");
+        assert_eq!(t.position_of("y"), Some(1));
+        assert_eq!(t.position_of("z"), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, "a", "k", "");
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = TraceEvent {
+            at: SimTime::from_nanos(1000),
+            source: "P0/rm".into(),
+            kind: "deliver".into(),
+            detail: "req 3".into(),
+        };
+        assert_eq!(e.to_string(), "t=1.000us [P0/rm] deliver req 3");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the simulation kernel: scheduler ordering and
+//! determinism, network-model timing laws.
+
+use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
+use eternal_sim::rng::SimRng;
+use eternal_sim::{Duration, Scheduler, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order, FIFO within a tie.
+    #[test]
+    fn scheduler_pops_in_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = s.pop() {
+            prop_assert_eq!(at, SimTime::from_nanos(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Cancelling a subset removes exactly that subset.
+    #[test]
+    fn scheduler_cancellation_is_exact(
+        n in 1usize..100,
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut s = Scheduler::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| s.schedule_at(SimTime::from_nanos(i as u64), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(s.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// Serialization time is monotone in payload and frames never beat
+    /// light: arrival ≥ send + serialization + propagation.
+    #[test]
+    fn network_timing_laws(payloads in prop::collection::vec(1usize..1472, 1..50)) {
+        let cfg = NetworkConfig::default();
+        let mut net = NetworkModel::new(2, cfg.clone(), 1);
+        let mut now = SimTime::ZERO;
+        for &p in &payloads {
+            let deliveries = net.multicast(NodeId(0), p, now);
+            prop_assert_eq!(deliveries.len(), 1);
+            let min_arrival = now + cfg.serialization_time(p) + cfg.propagation_delay;
+            prop_assert!(deliveries[0].at >= min_arrival);
+            now = now + Duration::from_nanos(1);
+        }
+    }
+
+    /// The medium serializes: two frames sent at the same instant arrive
+    /// strictly ordered, separated by at least the first frame's
+    /// serialization time.
+    #[test]
+    fn shared_medium_serializes(p1 in 1usize..1472, p2 in 1usize..1472) {
+        let cfg = NetworkConfig::default();
+        let mut net = NetworkModel::new(3, cfg.clone(), 2);
+        let d1 = net.multicast(NodeId(0), p1, SimTime::ZERO);
+        let d2 = net.multicast(NodeId(1), p2, SimTime::ZERO);
+        prop_assert!(d2[0].at >= d1[0].at + cfg.serialization_time(p2));
+    }
+
+    /// frames_for × payload covers the message exactly.
+    #[test]
+    fn fragmentation_arithmetic(len in 0usize..2_000_000) {
+        let cfg = NetworkConfig::default();
+        let frames = cfg.frames_for(len);
+        prop_assert!(frames >= 1);
+        prop_assert!(frames * cfg.frame_payload() >= len);
+        if len > cfg.frame_payload() {
+            prop_assert!((frames - 1) * cfg.frame_payload() < len);
+        }
+    }
+
+    /// The PRNG stream is identical for identical seeds and the
+    /// exponential draw is always positive and finite.
+    #[test]
+    fn rng_reproducibility(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let e = a.exponential(3.0);
+        prop_assert!(e.is_finite() && e >= 0.0);
+    }
+}
+
+#[test]
+fn partition_isolation_is_symmetric_and_complete() {
+    let mut net = NetworkModel::new(6, NetworkConfig::default(), 3);
+    let left = [NodeId(0), NodeId(1), NodeId(2)];
+    let right = [NodeId(3), NodeId(4), NodeId(5)];
+    net.partition(&[&left, &right]);
+    for &a in &left {
+        for &b in &right {
+            assert!(!net.can_reach(a, b), "{a}->{b}");
+            assert!(!net.can_reach(b, a), "{b}->{a}");
+        }
+        for &a2 in &left {
+            if a != a2 {
+                assert!(net.can_reach(a, a2));
+            }
+        }
+    }
+    net.heal();
+    for &a in &left {
+        for &b in &right {
+            assert!(net.can_reach(a, b));
+        }
+    }
+}

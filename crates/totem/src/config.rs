@@ -1,0 +1,87 @@
+//! Protocol timing and flow-control parameters.
+
+use eternal_sim::Duration;
+
+/// Tunable parameters of the Totem protocol engine.
+#[derive(Debug, Clone)]
+pub struct TotemConfig {
+    /// How long a member waits without seeing the token (or any ring
+    /// traffic) before declaring token loss and starting membership
+    /// formation.
+    pub token_loss_timeout: Duration,
+    /// How long the last forwarder of the token waits for evidence of
+    /// progress before retransmitting the token.
+    pub token_retransmit_timeout: Duration,
+    /// Interval between join-message re-floods while forming.
+    pub join_rebroadcast_interval: Duration,
+    /// How long to wait for matching join messages before moving
+    /// unresponsive processors to the fail set.
+    pub consensus_timeout: Duration,
+    /// Maximum new messages a member may broadcast per token visit
+    /// (Totem's flow-control constant).
+    pub max_messages_per_token: usize,
+    /// Maximum distance `seq` may run ahead of the slowest member's aru
+    /// before broadcasts are held back.
+    pub window_size: u64,
+}
+
+impl Default for TotemConfig {
+    fn default() -> Self {
+        TotemConfig {
+            token_loss_timeout: Duration::from_millis(30),
+            token_retransmit_timeout: Duration::from_millis(5),
+            join_rebroadcast_interval: Duration::from_millis(8),
+            consensus_timeout: Duration::from_millis(40),
+            max_messages_per_token: 8,
+            window_size: 256,
+        }
+    }
+}
+
+impl TotemConfig {
+    /// Sanity-checks parameter relationships that the protocol relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retransmit timeout is not shorter than the loss
+    /// timeout, or if flow-control parameters are zero.
+    pub fn validate(&self) {
+        assert!(
+            self.token_retransmit_timeout < self.token_loss_timeout,
+            "token retransmit timeout must be shorter than token loss timeout"
+        );
+        assert!(self.max_messages_per_token > 0, "flow control must allow progress");
+        assert!(self.window_size > 0, "window must allow progress");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TotemConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmit")]
+    fn inverted_timeouts_rejected() {
+        let cfg = TotemConfig {
+            token_retransmit_timeout: Duration::from_millis(100),
+            token_loss_timeout: Duration::from_millis(10),
+            ..TotemConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control")]
+    fn zero_fcc_rejected() {
+        let cfg = TotemConfig {
+            max_messages_per_token: 0,
+            ..TotemConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-module Totem invariants, including randomized-schedule property
+//! tests: total order is a prefix relation between any two nodes'
+//! delivery logs, no duplicates ever surface, and flow control bounds
+//! the sender's window.
+
+use eternal_sim::net::{NetworkConfig, NodeId};
+use eternal_sim::Duration;
+use eternal_totem::harness::TotemHarness;
+use eternal_totem::node::Delivery;
+use eternal_totem::TotemConfig;
+use proptest::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Message logs of two correct nodes must be prefix-ordered: one is a
+/// prefix of the other (they may have delivered different amounts, but
+/// never in different orders).
+fn assert_prefix_ordered(a: &[Vec<u8>], b: &[Vec<u8>]) {
+    let common = a.len().min(b.len());
+    assert_eq!(&a[..common], &b[..common], "order divergence");
+}
+
+#[test]
+fn delivery_logs_are_prefix_ordered_under_loss() {
+    let mut net_cfg = NetworkConfig::default();
+    net_cfg.loss_probability = 0.08;
+    let mut h = TotemHarness::with_network(4, TotemConfig::default(), net_cfg, 99);
+    h.run_until_formed();
+    for i in 0..120u32 {
+        h.broadcast(n(i % 4), i.to_be_bytes().to_vec());
+    }
+    // Sample mid-flight: logs may be unequal lengths but must agree on
+    // the common prefix.
+    h.run_for(Duration::from_millis(15));
+    let logs: Vec<_> = (0..4).map(|i| h.delivered_payloads(n(i))).collect();
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            assert_prefix_ordered(&logs[i], &logs[j]);
+        }
+    }
+    // And eventually all deliver everything.
+    h.run_for(Duration::from_secs(5));
+    for i in 0..4 {
+        assert_eq!(h.delivered_payloads(n(i)).len(), 120, "node {i}");
+    }
+}
+
+#[test]
+fn flow_control_bounds_backlog_drain_rate() {
+    let cfg = TotemConfig::default();
+    let per_visit = cfg.max_messages_per_token;
+    let mut h = TotemHarness::new(2, cfg, 7);
+    h.run_until_formed();
+    // Queue far more than one token visit can drain.
+    for i in 0..(per_visit * 10) as u32 {
+        h.broadcast(n(0), i.to_be_bytes().to_vec());
+    }
+    assert_eq!(h.node(n(0)).backlog(), per_visit * 10);
+    // All eventually flow, in order.
+    h.run_for(Duration::from_secs(1));
+    assert_eq!(h.node(n(0)).backlog(), 0);
+    let log = h.delivered_payloads(n(1));
+    assert_eq!(log.len(), per_visit * 10);
+    let expected: Vec<Vec<u8>> = (0..(per_visit * 10) as u32)
+        .map(|i| i.to_be_bytes().to_vec())
+        .collect();
+    assert_eq!(log, expected, "single-sender FIFO preserved");
+}
+
+#[test]
+fn config_changes_are_ordered_consistently() {
+    let mut h = TotemHarness::new(3, TotemConfig::default(), 13);
+    h.run_until_formed();
+    for i in 0..10u32 {
+        h.broadcast(n(0), i.to_be_bytes().to_vec());
+    }
+    h.run_for(Duration::from_millis(5));
+    h.kill(n(2));
+    h.run_for(Duration::from_secs(2));
+    h.restart(n(2));
+    h.run_for(Duration::from_secs(2));
+    assert!(h.formed());
+    // Survivors saw the same sequence of events (messages + config
+    // changes) for the rings they shared.
+    let render = |id: NodeId| -> Vec<String> {
+        h.deliveries(id)
+            .iter()
+            .map(|d| match d {
+                Delivery::Message { sender, data, .. } => format!("m {sender} {data:?}"),
+                Delivery::ConfigChange { members, .. } => format!("c {members:?}"),
+            })
+            .collect()
+    };
+    assert_eq!(render(n(0)), render(n(1)));
+}
+
+#[test]
+fn safe_upto_never_exceeds_any_members_deliveries() {
+    let mut h = TotemHarness::new(3, TotemConfig::default(), 21);
+    h.run_until_formed();
+    for i in 0..60u32 {
+        h.broadcast(n(i % 3), i.to_be_bytes().to_vec());
+    }
+    h.run_for(Duration::from_secs(1));
+    let min_delivered = (0..3)
+        .map(|i| h.delivered_payloads(n(i)).len() as u64)
+        .min()
+        .unwrap();
+    for i in 0..3 {
+        assert!(
+            h.node(n(i)).safe_upto() <= min_delivered + 60,
+            "safety bound violated"
+        );
+        // After quiescence everyone delivered everything, so safe_upto
+        // eventually reaches the full count.
+        assert!(h.node(n(i)).safe_upto() >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Total order + completeness hold for arbitrary seeds, loss rates,
+    /// and message loads.
+    #[test]
+    fn total_order_holds_for_arbitrary_schedules(
+        seed in 0u64..10_000,
+        loss in 0.0f64..0.10,
+        msgs in 10usize..80,
+    ) {
+        let mut net_cfg = NetworkConfig::default();
+        net_cfg.loss_probability = loss;
+        let mut h = TotemHarness::with_network(3, TotemConfig::default(), net_cfg, seed);
+        h.run_until_formed();
+        for i in 0..msgs as u32 {
+            h.broadcast(n(i % 3), i.to_be_bytes().to_vec());
+        }
+        h.run_for(Duration::from_secs(4));
+        let l0 = h.delivered_payloads(n(0));
+        prop_assert_eq!(l0.len(), msgs, "all messages delivered");
+        for i in 1..3 {
+            prop_assert_eq!(&h.delivered_payloads(n(i)), &l0);
+        }
+        // No duplicates.
+        let mut sorted = l0.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), msgs);
+    }
+
+    /// A node crash at an arbitrary moment never breaks survivor
+    /// agreement.
+    #[test]
+    fn crash_at_any_point_preserves_agreement(
+        seed in 0u64..10_000,
+        kill_after_us in 100u64..5_000,
+    ) {
+        let mut h = TotemHarness::new(3, TotemConfig::default(), seed);
+        h.run_until_formed();
+        for i in 0..40u32 {
+            h.broadcast(n(i % 3), i.to_be_bytes().to_vec());
+        }
+        h.run_for(Duration::from_micros(kill_after_us));
+        h.kill(n(2));
+        h.run_for(Duration::from_secs(3));
+        let l0 = h.delivered_payloads(n(0));
+        let l1 = h.delivered_payloads(n(1));
+        prop_assert_eq!(&l0, &l1, "survivors agree exactly");
+        // Survivors' own messages (n0, n1 senders) must all appear.
+        let survivor_msgs = (0..40u32).filter(|i| i % 3 != 2).count();
+        prop_assert!(l0.len() >= survivor_msgs);
+    }
+}

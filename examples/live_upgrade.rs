@@ -1,0 +1,98 @@
+//! The Evolution Manager (paper §2): upgrading a replicated object's
+//! implementation **without stopping the service**, by exploiting the
+//! replication itself — each replica is replaced in turn, and every
+//! replacement inherits the group's state through the normal
+//! `get_state`/`set_state` transfer.
+//!
+//! ```sh
+//! cargo run --example live_upgrade
+//! ```
+
+use eternal::app::{CounterServant, StreamingClient};
+use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::properties::FaultToleranceProperties;
+use eternal_cdr::{Any, Value};
+use eternal_orb::servant::{CheckpointableServant, Servant, ServantError};
+use eternal_sim::Duration;
+
+/// The upgraded implementation: compatible state, richer interface.
+#[derive(Debug, Default)]
+struct CounterV2 {
+    count: u32,
+}
+
+impl Servant for CounterV2 {
+    fn dispatch(&mut self, operation: &str, _args: &[u8]) -> Result<Vec<u8>, ServantError> {
+        match operation {
+            "increment" => {
+                self.count += 1;
+                Ok(self.count.to_be_bytes().to_vec())
+            }
+            "decrement" => {
+                self.count = self.count.saturating_sub(1);
+                Ok(self.count.to_be_bytes().to_vec())
+            }
+            "value" => Ok(self.count.to_be_bytes().to_vec()),
+            other => Err(ServantError::BadOperation(other.to_owned())),
+        }
+    }
+
+    fn type_id(&self) -> &str {
+        "IDL:Eternal/Counter:2.0"
+    }
+}
+
+impl CheckpointableServant for CounterV2 {
+    fn get_state(&self) -> Result<Any, ServantError> {
+        Ok(Any::from(self.count))
+    }
+
+    fn set_state(&mut self, state: &Any) -> Result<(), ServantError> {
+        match &state.value {
+            Value::ULong(v) => {
+                self.count = *v;
+                Ok(())
+            }
+            _ => Err(ServantError::InvalidState),
+        }
+    }
+}
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::default(), 5);
+    let server = cluster.deploy_server("counter", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    cluster.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 3))
+    });
+    cluster.run_until_deployed();
+    cluster.run_for(Duration::from_millis(100));
+    let before = cluster.metrics();
+    println!(
+        "v1 serving: {} replies so far, hosted on {:?}",
+        before.replies_delivered,
+        cluster.hosting(server)
+    );
+
+    println!("rolling upgrade to v2…");
+    cluster.upgrade_server(server, || Box::new(CounterV2::default()));
+    cluster.run_for(Duration::from_millis(600));
+    assert!(!cluster.upgrade_in_progress(server));
+
+    let after = cluster.metrics();
+    println!(
+        "upgrade complete: {} replica replacements, {} replies delivered (was {})",
+        after.recoveries_completed, after.replies_delivered, before.replies_delivered
+    );
+    for r in &after.recoveries {
+        println!(
+            "  replacement synchronized {} bytes of state in {}",
+            r.app_state_bytes,
+            r.recovery_time()
+        );
+    }
+    assert!(after.replies_delivered > before.replies_delivered + 500);
+    assert_eq!(after.replies_discarded_by_orb, 0);
+    println!("the client streamed uninterrupted across the upgrade ✓");
+}

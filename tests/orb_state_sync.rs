@@ -1,0 +1,132 @@
+//! Tests of the paper's core claim (§4): application-level state alone
+//! is not enough. The two ORB/POA-level failure modes appear exactly
+//! when their transfer is disabled, and never otherwise — plus the
+//! observation machinery reconstructs ground-truth ORB state.
+
+use eternal::app::{CounterServant, StreamingClient};
+use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::gid::ConnectionName;
+use eternal::properties::FaultToleranceProperties;
+use eternal::recovery::OrbStateObserver;
+use eternal_giop::{GiopMessage, CONTEXT_CODE_SETS};
+use eternal_orb::{ClientConnection, ObjectKey};
+use eternal_sim::Duration;
+
+fn scenario(transfer_orb: bool, transfer_infra: bool, recover_client: bool, seed: u64) -> Cluster {
+    let mut config = ClusterConfig::default();
+    config.mech.transfer_orb_state = transfer_orb;
+    config.mech.transfer_infra_state = transfer_infra;
+    config.trace = false;
+    let mut c = Cluster::new(config, seed);
+    let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    let client = c.deploy_client(
+        "driver",
+        FaultToleranceProperties::active(2),
+        move |_| Box::new(StreamingClient::new(server, "increment", 2)),
+    );
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(50));
+    let group = if recover_client { client } else { server };
+    let victim = c.hosting(group)[0];
+    c.kill_replica(group, victim);
+    c.run_for(Duration::from_millis(300));
+    c
+}
+
+#[test]
+fn full_transfer_has_no_orb_level_failures() {
+    for recover_client in [true, false] {
+        let c = scenario(true, true, recover_client, 20);
+        let m = c.metrics();
+        assert_eq!(m.replies_discarded_by_orb, 0, "§4.2.1 clean");
+        assert_eq!(m.requests_discarded_unnegotiated, 0, "§4.2.2 clean");
+        assert_eq!(m.recoveries_completed, 1);
+    }
+}
+
+#[test]
+fn missing_orb_state_reproduces_request_id_mismatch() {
+    // Paper Figure 4: recover a *client* replica without the request-id
+    // counter. Its ORB assigns 0 to the next logical invocation; the
+    // operational sibling's ORB assigned ~N. Whichever request copy is
+    // delivered, one side's reply match fails and a valid reply is
+    // discarded.
+    let c = scenario(false, true, true, 21);
+    let m = c.metrics();
+    assert!(
+        m.replies_discarded_by_orb > 0,
+        "request-id mismatch must discard replies"
+    );
+}
+
+#[test]
+fn missing_orb_state_reproduces_handshake_loss() {
+    // Paper §4.2.2: recover a *server* replica without replaying the
+    // stored client handshake. The client's requests use the negotiated
+    // short object key; the new replica's ORB cannot resolve it and
+    // discards them.
+    let c = scenario(false, true, false, 22);
+    let m = c.metrics();
+    assert!(
+        m.requests_discarded_unnegotiated > 0,
+        "unnegotiated requests must be discarded"
+    );
+}
+
+#[test]
+fn service_survives_orb_ablation_thanks_to_siblings() {
+    // Even with the §4.2 failures present, the *other* replicas keep the
+    // service alive — the failure is consistency of the recovered
+    // replica, not availability (matching the paper's framing).
+    let c = scenario(false, true, false, 23);
+    let before = c.metrics().replies_delivered;
+    let mut c = c;
+    c.run_for(Duration::from_millis(100));
+    assert!(c.metrics().replies_delivered > before);
+}
+
+#[test]
+fn observer_reconstruction_matches_orb_ground_truth() {
+    // Drive a real client connection, observe its wire traffic, and
+    // compare the observer's reconstruction with the ORB's own state.
+    let mut client = ClientConnection::new(1);
+    let mut observer = OrbStateObserver::new();
+    let conn = ConnectionName {
+        client: eternal::gid::GroupId(1),
+        server: eternal::gid::GroupId(2),
+    };
+    let key = ObjectKey::from("obj");
+    for _ in 0..37 {
+        let (_, bytes) = client.build_request(&key, "op", &[], true).expect("encodes");
+        observer.observe_request(conn, &bytes);
+    }
+    let truth = client.orb_level_state();
+    let reconstructed = observer.next_request_ids(|_| true);
+    assert_eq!(reconstructed, vec![(conn, truth.next_request_id)]);
+    // The first (handshake-carrying) request was stored verbatim.
+    let handshakes = observer.handshakes(|_| true);
+    assert_eq!(handshakes.len(), 1);
+    let GiopMessage::Request(req) = GiopMessage::from_bytes(&handshakes[0].1).expect("parses")
+    else {
+        panic!("stored handshake is not a request");
+    };
+    assert_eq!(req.request_id, 0);
+    assert!(req.service_context.find(CONTEXT_CODE_SETS).is_some());
+}
+
+#[test]
+fn recovered_client_counter_continues_not_restarts() {
+    // After a client recovery with full transfer, the recovered
+    // replica's requests must deduplicate against its sibling's: if its
+    // ORB restarted at id 0 (and Eternal op ids restarted too), servers
+    // would execute operations twice. The absence of any ORB discards
+    // plus continued monotone replies proves both counters were carried
+    // over.
+    let c = scenario(true, true, true, 24);
+    let m = c.metrics();
+    assert_eq!(m.replies_discarded_by_orb, 0);
+    assert!(m.duplicates_suppressed > 0, "siblings' copies suppressed");
+    assert_eq!(m.recoveries_completed, 1);
+}
