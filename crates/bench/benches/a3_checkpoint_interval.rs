@@ -1,21 +1,14 @@
-//! Criterion bench for A3: the checkpoint-interval sweep (warm
+//! Wall-clock bench for A3: the checkpoint-interval sweep (warm
 //! passive). The virtual-time trade-off table is printed by
 //! `repro checkpoint-sweep`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eternal_bench::checkpoint_sweep_point;
+use eternal_bench::{checkpoint_sweep_point, timing::bench};
 use eternal_sim::Duration;
 
-fn bench_checkpoint_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a3_checkpoint_interval");
-    group.sample_size(10);
+fn main() {
     for &ms in &[10u64, 50, 200] {
-        group.bench_with_input(BenchmarkId::from_parameter(ms), &ms, |b, &ms| {
-            b.iter(|| checkpoint_sweep_point(Duration::from_millis(ms), 42));
+        bench(&format!("a3_checkpoint_interval/{ms}ms"), 10, || {
+            checkpoint_sweep_point(Duration::from_millis(ms), 42)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_checkpoint_sweep);
-criterion_main!(benches);

@@ -1,26 +1,17 @@
-//! Criterion bench for Figure 6: recovery time vs application-level
+//! Wall-clock bench for Figure 6: recovery time vs application-level
 //! state size. The *measured quantity inside the simulation* (virtual
 //! recovery time) is printed by `repro fig6`; this bench tracks the
 //! wall-clock cost of the experiment itself so regressions in the
 //! protocol implementation show up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eternal_bench::fig6_point;
+use eternal_bench::{fig6_point, timing::bench};
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_recovery");
-    group.sample_size(10);
+fn main() {
     for &size in &[10usize, 10_000, 100_000, 350_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter(|| {
-                let p = fig6_point(size, 42);
-                assert!(p.recovery.as_nanos() > 0);
-                p
-            });
+        bench(&format!("fig6_recovery/{size}"), 10, || {
+            let p = fig6_point(size, 42);
+            assert!(p.recovery.as_nanos() > 0);
+            p
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,32 +1,17 @@
-//! Criterion bench for T1: the fault-free overhead experiment
+//! Wall-clock bench for T1: the fault-free overhead experiment
 //! (replicated vs unreplicated round trips). The virtual-time overhead
 //! percentages are printed by `repro overhead`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eternal_bench::{overhead_point, unreplicated_round_trip};
+use eternal_bench::{overhead_point, timing::bench, unreplicated_round_trip};
 use eternal_sim::Duration;
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t1_overhead");
-    group.sample_size(10);
+fn main() {
     for &us in &[100u64, 1_000] {
-        group.bench_with_input(
-            BenchmarkId::new("replicated", us),
-            &us,
-            |b, &us| {
-                b.iter(|| overhead_point(Duration::from_micros(us), 42));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("unreplicated", us),
-            &us,
-            |b, &us| {
-                b.iter(|| unreplicated_round_trip(Duration::from_micros(us), 500, 42));
-            },
-        );
+        bench(&format!("t1_overhead/replicated/{us}"), 10, || {
+            overhead_point(Duration::from_micros(us), 42)
+        });
+        bench(&format!("t1_overhead/unreplicated/{us}"), 10, || {
+            unreplicated_round_trip(Duration::from_micros(us), 500, 42)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

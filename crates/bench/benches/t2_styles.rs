@@ -1,28 +1,15 @@
-//! Criterion bench for T2: replication styles under failure. The
+//! Wall-clock bench for T2: replication styles under failure. The
 //! virtual-time table is printed by `repro styles`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eternal::properties::ReplicationStyle;
-use eternal_bench::style_run;
+use eternal_bench::{style_run, timing::bench};
 
-fn bench_styles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t2_styles");
-    group.sample_size(10);
+fn main() {
     for style in [
         ReplicationStyle::Active,
         ReplicationStyle::WarmPassive,
         ReplicationStyle::ColdPassive,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{style:?}")),
-            &style,
-            |b, &style| {
-                b.iter(|| style_run(style, 42));
-            },
-        );
+        bench(&format!("t2_styles/{style:?}"), 10, || style_run(style, 42));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_styles);
-criterion_main!(benches);

@@ -6,14 +6,16 @@
 //! cargo run --release -p eternal-bench --bin repro -- fig6    # one experiment
 //! ```
 //!
-//! Experiments: `fig6`, `overhead`, `styles`, `checkpoint-sweep`,
-//! `frag-threshold`, `replicas`, `ablation-reqid`, `ablation-handshake`.
+//! Experiments: `fig6`, `timeline`, `overhead`, `styles`,
+//! `checkpoint-sweep`, `frag-threshold`, `replicas`, `ablation-reqid`,
+//! `ablation-handshake`.
 
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
-    ablation_run, checkpoint_sweep_point, fig6_point, frag_threshold, overhead_point,
-    replica_count_point, style_run,
+    ablation_run, checkpoint_sweep_point, fig6_point, fig6_timeline, frag_threshold,
+    overhead_point, replica_count_point, style_run,
 };
+use eternal_obs::timeline::render_breakdown_table;
 use eternal_sim::Duration;
 
 fn main() {
@@ -23,6 +25,9 @@ fn main() {
 
     if want("fig6") {
         fig6();
+    }
+    if want("timeline") {
+        timeline();
     }
     if want("overhead") {
         overhead();
@@ -50,10 +55,12 @@ fn main() {
 fn fig6() {
     println!("== Figure 6: recovery time vs application-level state size ==");
     println!("   (2-way active server, packet-driver client, replica killed + re-launched)");
-    println!("{:>12}  {:>14}  {:>14}", "state (B)", "transferred(B)", "recovery");
+    println!(
+        "{:>12}  {:>14}  {:>14}",
+        "state (B)", "transferred(B)", "recovery"
+    );
     for &size in &[
-        10usize, 1_000, 5_000, 10_000, 50_000, 100_000, 150_000, 200_000, 250_000, 300_000,
-        350_000,
+        10usize, 1_000, 5_000, 10_000, 50_000, 100_000, 150_000, 200_000, 250_000, 300_000, 350_000,
     ] {
         let p = fig6_point(size, 42);
         println!(
@@ -63,6 +70,20 @@ fn fig6() {
             p.recovery.to_string()
         );
     }
+    println!();
+}
+
+fn timeline() {
+    println!("== Figure 6 breakdown: where recovery time goes, per §5.1 phase ==");
+    println!("   (same scenario as fig6, observability on; phases tile the episode)");
+    let mut timelines = Vec::new();
+    for &size in &[1_000usize, 10_000, 100_000, 300_000] {
+        let run = fig6_timeline(size, 42);
+        timelines.extend(run.timelines);
+    }
+    print!("{}", render_breakdown_table(&timelines));
+    println!("   (transfer dominates as state grows — fragmentation over the ring;");
+    println!("    quiesce + get_state are the state-size-independent floor)");
     println!();
 }
 
@@ -92,7 +113,14 @@ fn styles() {
     println!("== T2: replication styles under failure (paper §6 closing claim) ==");
     println!(
         "{:>13}  {:>13}  {:>12}  {:>12}  {:>10}  {:>12}  {:>11}  {:>8}",
-        "style", "interruption", "restored", "recovery", "frames", "wire bytes", "checkpoints", "logged"
+        "style",
+        "interruption",
+        "restored",
+        "recovery",
+        "frames",
+        "wire bytes",
+        "checkpoints",
+        "logged"
     );
     for style in [
         ReplicationStyle::Active,

@@ -6,6 +6,9 @@
 //!
 //! * [`fig6_point`] — **Figure 6**: recovery time of an actively
 //!   replicated server vs the size of its application-level state.
+//! * [`fig6_timeline`] — the same scenario with observability on,
+//!   returning each episode's §5.1 phase breakdown (quiesce →
+//!   get_state → transfer → set_state → replay).
 //! * [`overhead_point`] — **T1**: fault-free response-time overhead of
 //!   interception + multicast + replica consistency vs an unreplicated
 //!   point-to-point IIOP baseline (paper: 10–15 %).
@@ -25,9 +28,35 @@ use eternal::app::{BlobServant, CounterServant, StreamingClient};
 use eternal::cluster::{Cluster, ClusterConfig};
 use eternal::gid::GroupId;
 use eternal::properties::{FaultToleranceProperties, ReplicationStyle};
+use eternal_obs::{MetricsRegistry, RecoveryTimeline};
 use eternal_orb::{ClientConnection, ObjectKey, Orb, ServerConnection};
 use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
 use eternal_sim::{Duration, Scheduler, SimTime};
+
+/// Minimal wall-clock benchmarking for the `benches/` targets: times a
+/// closure over a fixed sample count and prints min/mean/max. The
+/// interesting *virtual-time* quantities are printed by the `repro`
+/// binary; these wall-clock numbers only track the cost of running the
+/// experiments, so protocol-implementation regressions show up.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Runs `f` `samples` times and prints a one-line wall-clock summary.
+    pub fn bench<T>(label: &str, samples: u32, mut f: impl FnMut() -> T) {
+        assert!(samples > 0);
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let out = f();
+            times.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+        let min = times.iter().min().expect("nonempty");
+        let max = times.iter().max().expect("nonempty");
+        let mean = times.iter().sum::<std::time::Duration>() / samples;
+        println!("{label:<40} min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}");
+    }
+}
 
 /// One Figure 6 measurement.
 #[derive(Debug, Clone, Copy)]
@@ -46,8 +75,10 @@ pub struct Fig6Point {
 /// client streaming two-way invocations at a 2-way actively replicated
 /// server; one replica killed and re-launched; recovery time measured.
 pub fn fig6_point(state_bytes: usize, seed: u64) -> Fig6Point {
-    let mut config = ClusterConfig::default();
-    config.trace = false;
+    let config = ClusterConfig {
+        trace: false,
+        ..ClusterConfig::default()
+    };
     let mut cluster = Cluster::new(config, seed);
     let server = cluster.deploy_server("blob", FaultToleranceProperties::active(2), move || {
         Box::new(BlobServant::with_size(state_bytes))
@@ -69,6 +100,52 @@ pub fn fig6_point(state_bytes: usize, seed: u64) -> Fig6Point {
         transferred_bytes: m.recoveries[0].app_state_bytes,
         recovery: m.recoveries[0].recovery_time(),
         frames: cluster.net().frames_sent(),
+    }
+}
+
+/// A [`fig6_point`] run with observability on: the same recovery
+/// scenario, plus the phase-resolved timeline of each episode and the
+/// aggregated metrics registry.
+#[derive(Debug, Clone)]
+pub struct TimelineRun {
+    /// The Figure 6 measurement itself.
+    pub point: Fig6Point,
+    /// Phase breakdown (quiesce → get_state → transfer → set_state →
+    /// replay) of every completed recovery episode.
+    pub timelines: Vec<RecoveryTimeline>,
+    /// Counters/gauges/histograms from all three layers.
+    pub registry: MetricsRegistry,
+}
+
+/// Runs the Figure 6 scenario for one state size with tracing enabled
+/// and returns the per-phase recovery breakdown.
+pub fn fig6_timeline(state_bytes: usize, seed: u64) -> TimelineRun {
+    let config = ClusterConfig::default(); // trace on by default
+    let mut cluster = Cluster::new(config, seed);
+    let server = cluster.deploy_server("blob", FaultToleranceProperties::active(2), move || {
+        Box::new(BlobServant::with_size(state_bytes))
+    });
+    cluster.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4))
+    });
+    cluster.run_until_deployed();
+    cluster.run_for(Duration::from_millis(50));
+
+    let victim = cluster.hosting(server)[0];
+    cluster.kill_replica(server, victim);
+    cluster.run_for(Duration::from_secs(5));
+
+    let m = cluster.metrics();
+    assert_eq!(m.recoveries_completed, 1, "recovery must complete");
+    TimelineRun {
+        point: Fig6Point {
+            state_bytes,
+            transferred_bytes: m.recoveries[0].app_state_bytes,
+            recovery: m.recoveries[0].recovery_time(),
+            frames: cluster.net().frames_sent(),
+        },
+        timelines: cluster.recovery_timelines().to_vec(),
+        registry: cluster.metrics_registry(),
     }
 }
 
@@ -145,7 +222,9 @@ pub fn unreplicated_round_trip(exec_time: Duration, invocations: u32, seed: u64)
     let mut sent_at = SimTime::ZERO;
 
     // Issue the first request.
-    let (_, req) = client.build_request(&key, "increment", &[], true).expect("encodes");
+    let (_, req) = client
+        .build_request(&key, "increment", &[], true)
+        .expect("encodes");
     for d in net.unicast(NodeId(0), NodeId(1), req.len().min(1472), SimTime::ZERO) {
         sched.schedule_at(d.at, Ev::RequestArrives(req.clone()));
     }
@@ -213,8 +292,10 @@ pub struct StyleRun {
 
 /// Runs the T2 scenario for one replication style.
 pub fn style_run(style: ReplicationStyle, seed: u64) -> StyleRun {
-    let mut config = ClusterConfig::default();
-    config.trace = true; // needed to find reply times around the kill
+    let config = ClusterConfig {
+        trace: true, // needed to find reply times around the kill
+        ..ClusterConfig::default()
+    };
     let mut cluster = Cluster::new(config, seed);
     let props = match style {
         ReplicationStyle::Active => FaultToleranceProperties::active(2),
@@ -299,8 +380,10 @@ pub struct CheckpointSweepPoint {
 
 /// Runs the A3 scenario for one checkpoint interval (warm passive).
 pub fn checkpoint_sweep_point(interval: Duration, seed: u64) -> CheckpointSweepPoint {
-    let mut config = ClusterConfig::default();
-    config.trace = true;
+    let config = ClusterConfig {
+        trace: true,
+        ..ClusterConfig::default()
+    };
     let mut cluster = Cluster::new(config, seed);
     let server = cluster.deploy_server(
         "blob",
@@ -397,15 +480,15 @@ pub struct ReplicaCountPoint {
 /// degree grows (the "more resource-intensive" half of the §6 claim,
 /// quantified per replica added).
 pub fn replica_count_point(replicas: usize, seed: u64) -> ReplicaCountPoint {
-    let mut config = ClusterConfig::default();
-    config.processors = (replicas as u32 + 2).max(4);
-    config.trace = false;
+    let config = ClusterConfig {
+        processors: (replicas as u32 + 2).max(4),
+        trace: false,
+        ..ClusterConfig::default()
+    };
     let mut cluster = Cluster::new(config, seed);
-    let server = cluster.deploy_server(
-        "blob",
-        FaultToleranceProperties::active(replicas),
-        || Box::new(BlobServant::with_size(10_000)),
-    );
+    let server = cluster.deploy_server("blob", FaultToleranceProperties::active(replicas), || {
+        Box::new(BlobServant::with_size(10_000))
+    });
     cluster.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
         Box::new(StreamingClient::new(server, "touch", 2))
     });
@@ -447,11 +530,9 @@ pub fn ablation_run(transfer_orb_state: bool, recover_client: bool, seed: u64) -
     let server = cluster.deploy_server("counter", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     });
-    let client = cluster.deploy_client(
-        "driver",
-        FaultToleranceProperties::active(2),
-        move |_| Box::new(StreamingClient::new(server, "increment", 2)),
-    );
+    let client = cluster.deploy_client("driver", FaultToleranceProperties::active(2), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 2))
+    });
     cluster.run_until_deployed();
     cluster.run_for(Duration::from_millis(50));
 

@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn embedded_nul_rejected() {
         let mut e = CdrEncoder::new(Endian::Big);
-        assert_eq!(
-            e.write_string("a\0b"),
-            Err(CdrError::BadStringTerminator)
-        );
+        assert_eq!(e.write_string("a\0b"), Err(CdrError::BadStringTerminator));
     }
 
     #[test]

@@ -83,7 +83,10 @@ mod tests {
             needed: 4,
             remaining: 2,
         };
-        assert_eq!(e.to_string(), "buffer underflow: needed 4 bytes, 2 remaining");
+        assert_eq!(
+            e.to_string(),
+            "buffer underflow: needed 4 bytes, 2 remaining"
+        );
         assert_eq!(
             CdrError::InvalidBool(7).to_string(),
             "invalid boolean octet 0x07"

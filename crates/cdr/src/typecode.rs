@@ -103,17 +103,13 @@ impl TypeCode {
             TypeCode::Null => 0,
             TypeCode::Boolean | TypeCode::Octet => 1,
             TypeCode::Short | TypeCode::UShort => 2,
-            TypeCode::Long
-            | TypeCode::ULong
-            | TypeCode::Float
-            | TypeCode::Enum { .. } => 4,
+            TypeCode::Long | TypeCode::ULong | TypeCode::Float | TypeCode::Enum { .. } => 4,
             TypeCode::LongLong | TypeCode::ULongLong | TypeCode::Double => 8,
             TypeCode::String => 5,      // length word + NUL
             TypeCode::Sequence(_) => 4, // length word
-            TypeCode::Struct { members, .. } => members
-                .iter()
-                .map(|(_, tc)| tc.min_encoded_size())
-                .sum(),
+            TypeCode::Struct { members, .. } => {
+                members.iter().map(|(_, tc)| tc.min_encoded_size()).sum()
+            }
             TypeCode::Any => 4, // nested TCKind word
         }
     }
@@ -283,7 +279,10 @@ mod tests {
             members: vec![
                 ("id".into(), TypeCode::ULong),
                 ("owner".into(), TypeCode::String),
-                ("history".into(), TypeCode::Sequence(Box::new(TypeCode::Double))),
+                (
+                    "history".into(),
+                    TypeCode::Sequence(Box::new(TypeCode::Double)),
+                ),
             ],
         };
         assert_eq!(round_trip(&tc), tc);

@@ -458,8 +458,14 @@ mod tests {
     fn streaming_client_respects_limit() {
         let mut c = StreamingClient::new(GroupId(2), "op", 1).with_limit(2);
         c.on_start();
-        assert_eq!(c.on_reply(GroupId(2), "op", ReplyStatus::NoException, &[]).len(), 1);
-        assert!(c.on_reply(GroupId(2), "op", ReplyStatus::NoException, &[]).is_empty());
+        assert_eq!(
+            c.on_reply(GroupId(2), "op", ReplyStatus::NoException, &[])
+                .len(),
+            1
+        );
+        assert!(c
+            .on_reply(GroupId(2), "op", ReplyStatus::NoException, &[])
+            .is_empty());
     }
 
     #[test]
@@ -469,10 +475,13 @@ mod tests {
             .unwrap();
         kv.dispatch("put", &KvStoreServant::put_args("bob", "250"))
             .unwrap();
-        let got = kv.dispatch("get", &KvStoreServant::key_args("alice")).unwrap();
+        let got = kv
+            .dispatch("get", &KvStoreServant::key_args("alice"))
+            .unwrap();
         let mut dec = eternal_cdr::CdrDecoder::new(&got, eternal_cdr::Endian::Big);
         assert_eq!(dec.read_string().unwrap(), "100");
-        kv.dispatch("remove", &KvStoreServant::key_args("alice")).unwrap();
+        kv.dispatch("remove", &KvStoreServant::key_args("alice"))
+            .unwrap();
         assert!(matches!(
             kv.dispatch("get", &KvStoreServant::key_args("alice")),
             Err(ServantError::UserException(_))
@@ -486,10 +495,14 @@ mod tests {
     #[test]
     fn kv_store_state_round_trips_through_any() {
         let mut kv = KvStoreServant::default();
-        kv.dispatch("put", &KvStoreServant::put_args("k1", "v1")).unwrap();
-        kv.dispatch("put", &KvStoreServant::put_args("k2", "v2")).unwrap();
-        kv.dispatch("notify", &KvStoreServant::key_args("k1")).unwrap();
-        kv.dispatch("notify", &KvStoreServant::key_args("k1")).unwrap();
+        kv.dispatch("put", &KvStoreServant::put_args("k1", "v1"))
+            .unwrap();
+        kv.dispatch("put", &KvStoreServant::put_args("k2", "v2"))
+            .unwrap();
+        kv.dispatch("notify", &KvStoreServant::key_args("k1"))
+            .unwrap();
+        kv.dispatch("notify", &KvStoreServant::key_args("k1"))
+            .unwrap();
         let snap = CheckpointableServant::get_state(&kv).unwrap();
         // Through the wire form, as recovery does.
         let bytes = snap.to_bytes().unwrap();

@@ -11,12 +11,14 @@
 //! resource usage per replication style).
 
 use crate::app::ClientApp;
-use crate::gid::{ConnectionName, Direction, GroupId};
+use crate::gid::{ConnectionName, Direction, GroupId, TransferId};
 use crate::manager::{ReplicationManager, ResourceManager};
 use crate::mechanisms::{GroupKind, GroupMeta, MechConfig, Mechanisms, Out};
-use crate::message::{fragment_eternal, EternalMessage, EternalReassembler};
+use crate::message::{fragment_eternal, EternalMessage, EternalReassembler, RetrievalPurpose};
 use crate::metrics::{Metrics, RecoveryRecord};
 use crate::properties::{FaultToleranceProperties, ReplicationStyle};
+use eternal_obs::timeline::PhaseSpan;
+use eternal_obs::{EventKind, MetricsRegistry, RecoveryPhase, RecoveryTimeline};
 use eternal_orb::servant::CheckpointableServant;
 use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
 use eternal_sim::trace::Trace;
@@ -45,6 +47,8 @@ pub struct ClusterConfig {
     pub auto_recover: bool,
     /// Record a structured trace (disable for benchmarks).
     pub trace: bool,
+    /// Ring-buffer capacity of the trace (drop-oldest beyond it).
+    pub trace_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -57,6 +61,7 @@ impl Default for ClusterConfig {
             launch_delay: Duration::from_millis(2),
             auto_recover: true,
             trace: true,
+            trace_capacity: eternal_obs::trace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -103,6 +108,24 @@ impl std::fmt::Debug for GroupInfo {
     }
 }
 
+/// In-flight observation of one §5.1 recovery episode, keyed by its
+/// transfer id. Boundary times accumulate as the protocol's messages
+/// are delivered; the finished timeline is assembled at
+/// `Out::RecoveryComplete`.
+#[derive(Debug, Clone)]
+struct EpisodeObs {
+    group: GroupId,
+    new_host: NodeId,
+    /// Donor-side quiescence reached; `get_state` begins (earliest
+    /// donor wins under active replication).
+    capture_begin: Option<SimTime>,
+    /// Donor-side `get_state` finished; the assignment is handed to the
+    /// transport.
+    send_at: Option<SimTime>,
+    /// The assignment was delivered at the recovering replica.
+    assignment_at: Option<SimTime>,
+}
+
 /// The whole simulated system.
 #[derive(Debug)]
 pub struct Cluster {
@@ -128,6 +151,12 @@ pub struct Cluster {
     upgrades: BTreeMap<GroupId, Vec<NodeId>>,
     metrics: Metrics,
     trace: Trace,
+    registry: MetricsRegistry,
+    /// Last time the rotating token arrived at each live processor, for
+    /// the token-rotation-time histogram.
+    last_token_at: HashMap<NodeId, SimTime>,
+    episodes: HashMap<TransferId, EpisodeObs>,
+    timelines: Vec<RecoveryTimeline>,
     repl_mgr: ReplicationManager,
     res_mgr: ResourceManager,
     clients_started: bool,
@@ -137,6 +166,10 @@ impl Cluster {
     /// Builds the system and starts Totem on every processor.
     pub fn new(config: ClusterConfig, seed: u64) -> Self {
         config.totem.validate();
+        let mut config = config;
+        // A traced cluster also traces its ORBs (restart_processor
+        // clones this config, so adjust it once here).
+        config.mech.obs = config.mech.obs || config.trace;
         let net = NetworkModel::new(config.processors, config.net.clone(), seed);
         let mut cluster = Cluster {
             repl_mgr: ReplicationManager::new(config.processors),
@@ -157,10 +190,14 @@ impl Cluster {
             upgrades: BTreeMap::new(),
             metrics: Metrics::default(),
             trace: if config.trace {
-                Trace::new()
+                Trace::with_capacity(config.trace_capacity)
             } else {
                 Trace::disabled()
             },
+            registry: MetricsRegistry::new(),
+            last_token_at: HashMap::new(),
+            episodes: HashMap::new(),
+            timelines: Vec::new(),
             clients_started: false,
             config,
         };
@@ -236,6 +273,41 @@ impl Cluster {
         m
     }
 
+    /// Layer-local metrics aggregated into one registry: cluster-level
+    /// histograms, Totem engine counters, network counters, and (when
+    /// tracing) each processor's ORB registry.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = self.registry.clone();
+        for totem in self.totem.values() {
+            let s = totem.stats();
+            reg.counter_add("totem.broadcasts", s.broadcasts);
+            reg.counter_add("totem.delivered", s.delivered);
+            reg.counter_add("totem.config_changes", s.config_changes);
+            reg.counter_add("totem.retransmits_served", s.retransmits_served);
+            reg.counter_add("totem.token_retransmits", s.token_retransmits);
+            reg.counter_add("totem.reformations", s.reformations);
+        }
+        for mech in self.mechs.values() {
+            let c = mech.counters();
+            reg.counter_add("eternal.requests_dispatched", c.requests_dispatched);
+            reg.counter_add("eternal.replies_delivered", c.replies_delivered);
+            reg.counter_add("eternal.duplicates_suppressed", mech.suppressed());
+            reg.counter_add("eternal.checkpoints_logged", c.checkpoints_logged);
+            reg.counter_add("eternal.messages_logged", c.messages_logged);
+            reg.merge(mech.orb().metrics());
+        }
+        reg.counter_add("net.frames_sent", self.net.frames_sent());
+        reg.counter_add("net.frames_dropped", self.net.frames_dropped());
+        reg.counter_add("net.bytes_sent", self.net.bytes_sent());
+        reg
+    }
+
+    /// Phase-resolved timelines of completed recovery episodes, in
+    /// completion order.
+    pub fn recovery_timelines(&self) -> &[RecoveryTimeline] {
+        &self.timelines
+    }
+
     // ================================================================
     // Deployment
     // ================================================================
@@ -302,9 +374,7 @@ impl Cluster {
                 kind: make_kind(),
             });
             let instantiates = match props.style {
-                ReplicationStyle::Active | ReplicationStyle::WarmPassive => {
-                    hosts.contains(&node)
-                }
+                ReplicationStyle::Active | ReplicationStyle::WarmPassive => hosts.contains(&node),
                 ReplicationStyle::ColdPassive => hosts.first() == Some(&node),
             };
             if instantiates {
@@ -383,7 +453,7 @@ impl Cluster {
         self.trace.record(
             now,
             "cluster/evolution-manager".to_string(),
-            "upgrade.begin",
+            EventKind::UpgradeBegin,
             format!("{group} replicas={old_replicas:?}"),
         );
         self.upgrades.insert(group, old_replicas);
@@ -396,14 +466,16 @@ impl Cluster {
     }
 
     fn upgrade_step(&mut self, group: GroupId) {
-        let Some(queue) = self.upgrades.get_mut(&group) else { return };
+        let Some(queue) = self.upgrades.get_mut(&group) else {
+            return;
+        };
         let Some(victim) = queue.pop() else {
             self.upgrades.remove(&group);
             let now = self.now();
             self.trace.record(
                 now,
                 "cluster/evolution-manager".to_string(),
-                "upgrade.complete",
+                EventKind::UpgradeComplete,
                 format!("{group}"),
             );
             return;
@@ -428,8 +500,13 @@ impl Cluster {
     pub fn report(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "cluster @ {} ({} processors)", self.now(), self.config.processors);
-        for (&node, _) in &self.mechs {
+        let _ = writeln!(
+            out,
+            "cluster @ {} ({} processors)",
+            self.now(),
+            self.config.processors
+        );
+        for &node in self.mechs.keys() {
             let status = if self.is_alive(node) { "up" } else { "DOWN" };
             let _ = writeln!(out, "  {node}: {status}");
         }
@@ -575,23 +652,33 @@ impl Cluster {
     /// group's fault-monitoring interval.
     pub fn kill_replica(&mut self, group: GroupId, node: NodeId) {
         let monitor = self.groups[&group].props.fault_monitoring_interval;
-        self.groups.get_mut(&group).expect("known group").hosting.remove(&node);
+        self.groups
+            .get_mut(&group)
+            .expect("known group")
+            .hosting
+            .remove(&node);
         let outs = self
             .mechs
             .get_mut(&node)
             .expect("known node")
             .kill_local_replica(group);
         let now = self.now();
-        self.trace
-            .record(now, format!("{node}/cluster"), "replica.killed", format!("{group}"));
+        self.trace.record(
+            now,
+            format!("{node}/cluster"),
+            EventKind::ReplicaKilled,
+            format!("{group}"),
+        );
         self.process_outs(node, outs, now, monitor);
     }
 
     /// Manually launches a replacement replica of `group` on `node`
     /// after the configured launch delay (the §5.1 recovery path).
     pub fn launch_replica(&mut self, group: GroupId, node: NodeId) {
-        self.sched
-            .schedule_after(self.config.launch_delay, Event::LaunchReplica { node, group });
+        self.sched.schedule_after(
+            self.config.launch_delay,
+            Event::LaunchReplica { node, group },
+        );
     }
 
     /// Crashes an entire processor: Totem membership, mechanisms state,
@@ -612,8 +699,13 @@ impl Cluster {
             info.hosting.remove(&node);
         }
         let now = self.now();
-        self.trace
-            .record(now, format!("{node}/cluster"), "processor.crashed", "");
+        self.last_token_at.remove(&node);
+        self.trace.record(
+            now,
+            format!("{node}/cluster"),
+            EventKind::ProcessorCrashed,
+            "",
+        );
     }
 
     /// Restarts a crashed processor with empty volatile state; its
@@ -639,13 +731,15 @@ impl Cluster {
         self.mechs.insert(node, mech);
         self.reasm.insert(node, EternalReassembler::new());
         let now = self.now();
-        self.trace
-            .record(now, format!("{node}/cluster"), "processor.restarted", "");
+        self.trace.record(
+            now,
+            format!("{node}/cluster"),
+            EventKind::ProcessorRestarted,
+            "",
+        );
         self.apply_totem_actions(node, actions);
     }
 
-    /// Queues an application broadcast … not supported: all traffic
-    /// originates from deployed client applications.
     // ================================================================
     // Internals
     // ================================================================
@@ -654,6 +748,14 @@ impl Cluster {
         match event {
             Event::TotemFrame { dst, frame } => {
                 if self.is_alive(dst) {
+                    if let Frame::Token(ref t) = frame {
+                        if t.target == dst {
+                            if let Some(prev) = self.last_token_at.insert(dst, now) {
+                                self.registry
+                                    .histogram_record("totem.token_rotation", now - prev);
+                            }
+                        }
+                    }
                     let actions = self.totem.get_mut(&dst).expect("known").handle_frame(frame);
                     self.apply_totem_actions(dst, actions);
                 }
@@ -665,7 +767,11 @@ impl Cluster {
             } => {
                 let current = self.timer_gen.get(&(node, timer)).copied().unwrap_or(0);
                 if generation == current && self.is_alive(node) {
-                    let actions = self.totem.get_mut(&node).expect("known").handle_timer(timer);
+                    let actions = self
+                        .totem
+                        .get_mut(&node)
+                        .expect("known")
+                        .handle_timer(timer);
                     self.apply_totem_actions(node, actions);
                 }
             }
@@ -702,7 +808,7 @@ impl Cluster {
                 self.trace.record(
                     now,
                     format!("{node}/cluster"),
-                    "replica.launched",
+                    EventKind::ReplicaLaunched,
                     format!("{group}"),
                 );
                 let outs = self
@@ -785,6 +891,7 @@ impl Cluster {
             TotemDelivery::Message { data, .. } => {
                 match self.reasm.get_mut(&node).expect("known").push(&data) {
                     Ok(Some(message)) => {
+                        self.observe_recovery_message(node, &message, now);
                         self.resource_manager_hook(node, &message, now);
                         let outs = self
                             .mechs
@@ -798,7 +905,7 @@ impl Cluster {
                         self.trace.record(
                             now,
                             format!("{node}/reasm"),
-                            "reassembly.error",
+                            EventKind::ReassemblyError,
                             e.to_string(),
                         );
                     }
@@ -808,7 +915,7 @@ impl Cluster {
                 self.trace.record(
                     now,
                     format!("{node}/totem"),
-                    "config.change",
+                    EventKind::ConfigChange,
                     format!("{members:?}"),
                 );
                 // Cluster-side resource management reacts once, at the
@@ -848,7 +955,9 @@ impl Cluster {
         if self.launch_inflight.contains(group) {
             return;
         }
-        let Some(info) = self.groups.get(group) else { return };
+        let Some(info) = self.groups.get(group) else {
+            return;
+        };
         if info.hosting.len() >= info.props.min_replicas {
             return;
         }
@@ -859,14 +968,14 @@ impl Cluster {
             .map(|(&n, _)| n)
             .collect();
         let hosting: Vec<NodeId> = info.hosting.iter().copied().collect();
-        if let Some(replacement) =
-            self.res_mgr
-                .choose_replacement(&info.hosts, &hosting, &alive)
+        if let Some(replacement) = self
+            .res_mgr
+            .choose_replacement(&info.hosts, &hosting, &alive)
         {
             self.trace.record(
                 now,
                 format!("{node}/resource-manager"),
-                "replacement.chosen",
+                EventKind::ReplacementChosen,
                 format!("{group} -> {replacement}"),
             );
             self.launch_inflight.insert(*group);
@@ -913,14 +1022,14 @@ impl Cluster {
             let alive: Vec<NodeId> = member_set.iter().copied().collect();
             let hosting: Vec<NodeId> = info.hosting.iter().copied().collect();
             let designated = info.hosts.clone();
-            if let Some(replacement) = self
-                .res_mgr
-                .choose_replacement(&designated, &hosting, &alive)
+            if let Some(replacement) =
+                self.res_mgr
+                    .choose_replacement(&designated, &hosting, &alive)
             {
                 self.trace.record(
                     now,
                     "cluster/resource-manager".to_string(),
-                    "replacement.chosen",
+                    EventKind::ReplacementChosen,
                     format!("{group} -> {replacement}"),
                 );
                 self.launch_inflight.insert(group);
@@ -947,8 +1056,39 @@ impl Cluster {
                 Out::ReplyDelivered { conn, op_seq } => {
                     if let Some(t0) = self.issue_times.remove(&(conn, op_seq)) {
                         self.metrics.round_trips.push(now - t0);
+                        self.registry.histogram_record("orb.round_trip", now - t0);
                     }
                 }
+                Out::StateCaptured {
+                    group,
+                    transfer,
+                    purpose: RetrievalPurpose::Recovery { new_host },
+                    quiesce_wait,
+                    capture_time,
+                    ..
+                } => {
+                    // Donor-side boundaries: quiescence is reached
+                    // `quiesce_wait` after the retrieval's delivery, and
+                    // the assignment leaves `capture_time` later. Under
+                    // active replication every operational replica
+                    // captures; the earliest sender defines the episode.
+                    // (Donors may see the retrieval before the new host
+                    // does, so create the episode here if needed.)
+                    let cb = now + quiesce_wait;
+                    let snd = cb + capture_time;
+                    let ep = self.episodes.entry(transfer).or_insert(EpisodeObs {
+                        group,
+                        new_host,
+                        capture_begin: None,
+                        send_at: None,
+                        assignment_at: None,
+                    });
+                    if ep.send_at.is_none_or(|s| snd < s) {
+                        ep.capture_begin = Some(cb);
+                        ep.send_at = Some(snd);
+                    }
+                }
+                Out::StateCaptured { .. } => {} // checkpoint captures: no episode
                 Out::RecoveryComplete {
                     group,
                     app_state_bytes,
@@ -966,11 +1106,14 @@ impl Cluster {
                             app_state_bytes,
                         });
                         self.metrics.recoveries_completed += 1;
+                        self.registry
+                            .histogram_record("eternal.recovery_time", now - t0);
+                        self.finish_episode(node, group, t0, now, app_state_bytes);
                     }
                     self.trace.record(
                         now,
                         format!("{node}/recovery"),
-                        "recovery.complete",
+                        EventKind::RecoveryComplete,
                         format!("{group} {app_state_bytes}B"),
                     );
                 }
@@ -983,12 +1126,112 @@ impl Cluster {
                     self.trace.record(
                         now + ready_after,
                         format!("{node}/recovery"),
-                        "promotion.complete",
+                        EventKind::PromotionComplete,
                         format!("{group} replayed={replayed}"),
                     );
                 }
             }
         }
+    }
+
+    /// Watches delivered recovery-protocol messages to place the episode
+    /// boundaries that only the cluster can see: the retrieval opens the
+    /// episode and the assignment's delivery at the recovering replica is
+    /// the set_state instant.
+    fn observe_recovery_message(&mut self, node: NodeId, message: &EternalMessage, now: SimTime) {
+        match message {
+            EternalMessage::StateRetrieval {
+                group,
+                transfer,
+                purpose: RetrievalPurpose::Recovery { new_host },
+            } if node == *new_host => {
+                self.episodes.entry(*transfer).or_insert(EpisodeObs {
+                    group: *group,
+                    new_host: *new_host,
+                    capture_begin: None,
+                    send_at: None,
+                    assignment_at: None,
+                });
+            }
+            EternalMessage::StateAssignment {
+                transfer,
+                purpose: RetrievalPurpose::Recovery { new_host },
+                ..
+            } if node == *new_host => {
+                if let Some(ep) = self.episodes.get_mut(transfer) {
+                    ep.assignment_at.get_or_insert(now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the episode observation for `group` on `node` and turns it
+    /// into a phase-resolved [`RecoveryTimeline`]: five contiguous phases
+    /// tiling [launched_at, operational_at] exactly (§5.1's quiesce →
+    /// get_state → transfer → set_state → replay). When tracing, the
+    /// timeline is also emitted retrospectively as nested spans.
+    fn finish_episode(
+        &mut self,
+        node: NodeId,
+        group: GroupId,
+        launched_at: SimTime,
+        operational_at: SimTime,
+        app_state_bytes: usize,
+    ) {
+        let key = self
+            .episodes
+            .iter()
+            .find(|(_, ep)| ep.group == group && ep.new_host == node)
+            .map(|(&k, _)| k);
+        let ep = match key {
+            Some(k) => self.episodes.remove(&k).expect("just found"),
+            None => return,
+        };
+        let clamp = |t: SimTime, lo: SimTime| t.max(lo).min(operational_at);
+        let t0 = launched_at;
+        let cb = clamp(ep.capture_begin.unwrap_or(t0), t0);
+        let snd = clamp(ep.send_at.unwrap_or(cb), cb);
+        let ta = clamp(ep.assignment_at.unwrap_or(operational_at), snd);
+        let bounds = [t0, cb, snd, ta, ta, operational_at];
+        let phases: Vec<PhaseSpan> = RecoveryPhase::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &phase)| PhaseSpan {
+                phase,
+                begin: bounds[i],
+                end: bounds[i + 1],
+            })
+            .collect();
+        let timeline = RecoveryTimeline {
+            label: format!("{group}@{node}"),
+            launched_at,
+            operational_at,
+            app_state_bytes,
+            phases,
+        };
+        if self.trace.is_enabled() {
+            let source = format!("{node}/recovery");
+            let episode = self.trace.span_begin(
+                launched_at,
+                source.clone(),
+                EventKind::RecoveryEpisode,
+                format!("{group} {app_state_bytes}B"),
+                None,
+            );
+            for p in &timeline.phases {
+                let s = self.trace.span_begin(
+                    p.begin,
+                    source.clone(),
+                    EventKind::Phase(p.phase),
+                    String::new(),
+                    Some(episode),
+                );
+                self.trace.span_end(p.end, s);
+            }
+            self.trace.span_end(operational_at, episode);
+        }
+        self.timelines.push(timeline);
     }
 }
 
@@ -1014,7 +1257,10 @@ mod tests {
         c.run_for(Duration::from_millis(100));
         let m = c.metrics();
         assert!(m.replies_delivered > 10, "replies: {}", m.replies_delivered);
-        assert!(m.duplicates_suppressed > 0, "active server duplicates replies");
+        assert!(
+            m.duplicates_suppressed > 0,
+            "active server duplicates replies"
+        );
         assert!(m.mean_round_trip().is_some());
     }
 

@@ -99,7 +99,10 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), 3, "no co-location");
         let b = rm.plan_hosts(3);
-        assert_ne!(a[0], b[0], "successive groups start on different processors");
+        assert_ne!(
+            a[0], b[0],
+            "successive groups start on different processors"
+        );
     }
 
     #[test]

@@ -80,6 +80,24 @@ pub enum Out {
         /// process launch + checkpoint load, warm ones only the replay.
         ready_after: Duration,
     },
+    /// This (donor) replica captured its three kinds of state in answer
+    /// to a `StateRetrieval` — observability for the recovery timeline:
+    /// the quiescence wait and the modeled `get_state` execution time
+    /// resolve the quiesce/get_state phase boundary.
+    StateCaptured {
+        /// The group whose state was captured.
+        group: GroupId,
+        /// The transfer this capture answers.
+        transfer: TransferId,
+        /// Why the state was retrieved (recovery vs checkpoint).
+        purpose: RetrievalPurpose,
+        /// Time spent waiting for quiescence before capturing (§5).
+        quiesce_wait: Duration,
+        /// Modeled `get_state` execution time at the donor.
+        capture_time: Duration,
+        /// Application-level state size captured.
+        app_state_bytes: usize,
+    },
 }
 
 /// What a local replica is doing.
@@ -229,6 +247,10 @@ pub struct MechConfig {
     pub transfer_orb_state: bool,
     /// Disable infrastructure-level state transfer (ablation).
     pub transfer_infra_state: bool,
+    /// Enable ORB-level observability (event trace + metrics) on this
+    /// processor's ORB. The cluster turns this on when its own trace is
+    /// enabled; off by default so bench paths allocate nothing.
+    pub obs: bool,
 }
 
 impl Default for MechConfig {
@@ -238,6 +260,7 @@ impl Default for MechConfig {
             cold_load_time: Duration::from_millis(2),
             transfer_orb_state: true,
             transfer_infra_state: true,
+            obs: false,
         }
     }
 }
@@ -274,10 +297,14 @@ impl std::fmt::Debug for Mechanisms {
 impl Mechanisms {
     /// Creates the mechanisms for `node`.
     pub fn new(node: NodeId, config: MechConfig) -> Self {
+        let mut orb = Orb::new(format!("P{}", node.0));
+        if config.obs {
+            orb.enable_obs(eternal_obs::trace::DEFAULT_CAPACITY);
+        }
         Mechanisms {
             node,
             config,
-            orb: Orb::new(format!("P{}", node.0)),
+            orb,
             interceptor: Interceptor::new(),
             observer: OrbStateObserver::new(),
             dedup: DuplicateSuppressor::new(),
@@ -426,7 +453,10 @@ impl Mechanisms {
 
     /// Log length (suffix) of the group's local checkpoint log.
     pub fn log_suffix_len(&self, group: GroupId) -> usize {
-        self.groups.get(&group).map(|lg| lg.log.suffix_len()).unwrap_or(0)
+        self.groups
+            .get(&group)
+            .map(|lg| lg.log.suffix_len())
+            .unwrap_or(0)
     }
 
     /// Quiescence deferrals recorded for the group's local replica
@@ -454,11 +484,15 @@ impl Mechanisms {
         let groups: Vec<GroupId> = self.groups.keys().copied().collect();
         for group in groups {
             let lg = self.groups.get_mut(&group).expect("listed");
-            let Some(replica) = lg.replica.as_mut() else { continue };
+            let Some(replica) = lg.replica.as_mut() else {
+                continue;
+            };
             if replica.phase != ReplicaPhase::Operational {
                 continue;
             }
-            let Some(app) = replica.client_app.as_mut() else { continue };
+            let Some(app) = replica.client_app.as_mut() else {
+                continue;
+            };
             let invocations = app.on_start();
             outs.extend(self.issue_invocations(group, invocations));
         }
@@ -487,7 +521,13 @@ impl Mechanisms {
             let key = Self::group_key(inv.server);
             let (request_id, bytes) = self
                 .orb
-                .invoke(conn_id, &key, &inv.operation, &inv.args, inv.response_expected)
+                .invoke(
+                    conn_id,
+                    &key,
+                    &inv.operation,
+                    &inv.args,
+                    inv.response_expected,
+                )
                 .expect("connection exists");
             // The interceptor sees what the ORB tried to write to its
             // socket; the observer learns the ORB state from it.
@@ -523,6 +563,7 @@ impl Mechanisms {
 
     /// Handles one totally ordered message. `now` is the delivery time.
     pub fn on_delivered(&mut self, message: EternalMessage, now: SimTime) -> Vec<Out> {
+        self.orb.set_clock(now);
         match message {
             EternalMessage::Iiop {
                 conn,
@@ -661,11 +702,9 @@ impl Mechanisms {
                             }
                         }
                         if let Some(reply_bytes) = maybe_reply {
-                            let message = self.interceptor.capture_reply(
-                                held.conn,
-                                held.op_seq,
-                                reply_bytes,
-                            );
+                            let message =
+                                self.interceptor
+                                    .capture_reply(held.conn, held.op_seq, reply_bytes);
                             outs.push(Out::Multicast {
                                 delay: self.config.exec_time,
                                 message,
@@ -782,11 +821,7 @@ impl Mechanisms {
         // The lowest-id processor hosting a state-serving replica
         // fabricates the get_state — a deterministic choice every
         // processor evaluates identically.
-        let issuer = lg
-            .operational_hosts
-            .iter()
-            .copied()
-            .find(|&h| h != host);
+        let issuer = lg.operational_hosts.iter().copied().find(|&h| h != host);
         if issuer != Some(self.node) {
             return Vec::new();
         }
@@ -859,6 +894,14 @@ impl Mechanisms {
                 wait
             };
             let state = self.capture_three_kinds(group);
+            outs.push(Out::StateCaptured {
+                group,
+                transfer,
+                purpose,
+                quiesce_wait: wait,
+                capture_time: self.config.exec_time,
+                app_state_bytes: state.application.len(),
+            });
             outs.push(Out::Multicast {
                 delay: self.config.exec_time + wait,
                 message: EternalMessage::StateAssignment {
@@ -907,8 +950,7 @@ impl Mechanisms {
         );
         let application = if is_server {
             self.orb
-                .poa_mut()
-                .dispatch(&key, "get_state", &[])
+                .dispatch_control(&key, "get_state", &[])
                 .expect("operational replica has state")
         } else {
             let lg = self.groups.get_mut(&group).expect("caller verified");
@@ -981,7 +1023,8 @@ impl Mechanisms {
                         .checkpoint_marks
                         .remove(&(group, transfer))
                         .unwrap_or_else(|| lg.log.mark());
-                    lg.log.record_checkpoint_at_mark(state.to_bytes(), now, mark);
+                    lg.log
+                        .record_checkpoint_at_mark(state.to_bytes(), now, mark);
                     self.counters.checkpoints_logged += 1;
                 }
                 // Warm backups are synchronized to the primary's
@@ -1068,7 +1111,9 @@ impl Mechanisms {
         let mut outs = Vec::new();
         loop {
             let lg = self.groups.get_mut(&group).expect("checked by caller");
-            let Some(replica) = lg.replica.as_mut() else { break };
+            let Some(replica) = lg.replica.as_mut() else {
+                break;
+            };
             match replica.holding.pop() {
                 None => break,
                 Some(HeldEntry::Assignment { .. }) | Some(HeldEntry::SyncPoint(_)) => {
@@ -1104,8 +1149,7 @@ impl Mechanisms {
         match &lg.meta.kind {
             GroupKind::Server(_) => {
                 self.orb
-                    .poa_mut()
-                    .dispatch(&key, "set_state", application)
+                    .dispatch_control(&key, "set_state", application)
                     .expect("transferred state is valid");
             }
             GroupKind::Client(_) => {
@@ -1148,7 +1192,8 @@ impl Mechanisms {
                     id
                 }
             };
-            let _discarded_confirmation = self.orb.handle_request_disposed(conn_id, handshake_bytes);
+            let _discarded_confirmation =
+                self.orb.handle_request_disposed(conn_id, handshake_bytes);
         }
         // Future transfers from this processor must know these facts too.
         self.observer
@@ -1169,18 +1214,14 @@ impl Mechanisms {
             }
         }
         let lg = self.groups.get_mut(&group).expect("caller verified");
-        lg.outstanding = calls
-            .drain(..)
-            .map(|c| ((c.conn, c.op_seq), c))
-            .collect();
+        lg.outstanding = calls.drain(..).map(|c| ((c.conn, c.op_seq), c)).collect();
     }
 
     fn on_fault(&mut self, group: GroupId, host: NodeId) -> Vec<Out> {
         let Some(lg) = self.groups.get_mut(&group) else {
             return Vec::new();
         };
-        let was_primary =
-            lg.is_primary_style() && lg.primary_host() == Some(host);
+        let was_primary = lg.is_primary_style() && lg.primary_host() == Some(host);
         lg.operational_hosts.remove(&host);
         lg.standby_hosts.remove(&host);
         if !was_primary {
@@ -1191,12 +1232,7 @@ impl Mechanisms {
         let style = lg.meta.props.style;
         let candidate = match style {
             ReplicationStyle::WarmPassive => lg.standby_hosts.iter().next().copied(),
-            ReplicationStyle::ColdPassive => lg
-                .meta
-                .hosts
-                .iter()
-                .copied()
-                .find(|&h| h != host),
+            ReplicationStyle::ColdPassive => lg.meta.hosts.iter().copied().find(|&h| h != host),
             ReplicationStyle::Active => None,
         };
         let Some(new_primary) = candidate else {
@@ -1310,7 +1346,7 @@ impl Mechanisms {
         let mut outs = self.deliver_to_replica(group, held, SimTime::ZERO);
         for out in &mut outs {
             if let Out::Multicast { delay: d, .. } = out {
-                *d = *d + delay;
+                *d += delay;
             }
         }
         outs
@@ -1382,7 +1418,7 @@ mod tests {
         fn run(&mut self, mechs: &mut [&mut Mechanisms]) -> Vec<(NodeId, Out)> {
             let mut events = Vec::new();
             while let Some(message) = self.queue.pop_front() {
-                self.now = self.now + Duration::from_micros(100);
+                self.now += Duration::from_micros(100);
                 for mech in mechs.iter_mut() {
                     let node = mech.node();
                     let outs = mech.on_delivered(message.clone(), self.now);
@@ -1437,7 +1473,11 @@ mod tests {
         let mut a = Mechanisms::new(n(0), MechConfig::default());
         let mut b = Mechanisms::new(n(1), MechConfig::default());
         for m in [&mut a, &mut b] {
-            m.register_group(server_meta(server, vec![n(0), n(1)], ReplicationStyle::Active));
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1)],
+                ReplicationStyle::Active,
+            ));
             m.register_group(client_meta(client, vec![n(0)], server));
         }
         a.deploy_local_replica(server);
@@ -1490,9 +1530,7 @@ mod tests {
 
         let first = a.on_delivered(msg.clone(), SimTime::ZERO);
         assert!(
-            first
-                .iter()
-                .any(|o| matches!(o, Out::Multicast { .. })),
+            first.iter().any(|o| matches!(o, Out::Multicast { .. })),
             "first copy dispatched and produced a reply"
         );
         let second = a.on_delivered(msg.clone(), SimTime::ZERO);
@@ -1536,7 +1574,11 @@ mod tests {
         let mut a = Mechanisms::new(n(0), MechConfig::default());
         let mut b = Mechanisms::new(n(1), MechConfig::default());
         for m in [&mut a, &mut b] {
-            m.register_group(server_meta(server, vec![n(0), n(1)], ReplicationStyle::Active));
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1)],
+                ReplicationStyle::Active,
+            ));
             m.register_group(client_meta(client, vec![n(0)], server));
         }
         a.deploy_local_replica(server);
@@ -1582,9 +1624,7 @@ mod tests {
             name: "kv".into(),
             props: FaultToleranceProperties::active(1),
             hosts: vec![n(0)],
-            kind: GroupKind::Server(Box::new(|| {
-                Box::new(crate::app::KvStoreServant::default())
-            })),
+            kind: GroupKind::Server(Box::new(|| Box::new(crate::app::KvStoreServant::default()))),
         });
         a.deploy_local_replica(server);
 
@@ -1596,9 +1636,7 @@ mod tests {
             name: "kv".into(),
             props: FaultToleranceProperties::active(1),
             hosts: vec![n(0)],
-            kind: GroupKind::Server(Box::new(|| {
-                Box::new(crate::app::KvStoreServant::default())
-            })),
+            kind: GroupKind::Server(Box::new(|| Box::new(crate::app::KvStoreServant::default()))),
         });
         struct OnewayApp {
             server: GroupId,

@@ -374,7 +374,9 @@ mod tests {
             EternalMessage::StateRetrieval {
                 group: GroupId(3),
                 transfer: TransferId(9),
-                purpose: RetrievalPurpose::Recovery { new_host: NodeId(4) },
+                purpose: RetrievalPurpose::Recovery {
+                    new_host: NodeId(4),
+                },
             },
             EternalMessage::StateRetrieval {
                 group: GroupId(3),
@@ -383,7 +385,9 @@ mod tests {
             },
             EternalMessage::StateAssignment {
                 transfer: TransferId(9),
-                purpose: RetrievalPurpose::Recovery { new_host: NodeId(4) },
+                purpose: RetrievalPurpose::Recovery {
+                    new_host: NodeId(4),
+                },
                 state: ThreeKindsOfState {
                     group: GroupId(3),
                     application: vec![7; 100],
@@ -446,7 +450,10 @@ mod tests {
         };
         let encoded = msg.to_bytes();
         let frags = fragment_eternal(NodeId(2), 5, &encoded, 1416);
-        assert_eq!(frags.len(), encoded.len().div_ceil(1416 - FRAGMENT_OVERHEAD));
+        assert_eq!(
+            frags.len(),
+            encoded.len().div_ceil(1416 - FRAGMENT_OVERHEAD)
+        );
         assert!(frags.iter().all(|f| f.len() <= 1416));
         let mut r = EternalReassembler::new();
         let mut out = None;

@@ -26,7 +26,10 @@ pub enum ReplicationStyle {
 impl ReplicationStyle {
     /// Whether this style keeps a periodic checkpoint + message log.
     pub fn logs_checkpoints(self) -> bool {
-        matches!(self, ReplicationStyle::WarmPassive | ReplicationStyle::ColdPassive)
+        matches!(
+            self,
+            ReplicationStyle::WarmPassive | ReplicationStyle::ColdPassive
+        )
     }
 }
 
@@ -137,7 +140,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_replicas")]
     fn bad_minimum_rejected() {
-        FaultToleranceProperties::active(1).with_min_replicas(2).validate();
+        FaultToleranceProperties::active(1)
+            .with_min_replicas(2)
+            .validate();
     }
 
     #[test]

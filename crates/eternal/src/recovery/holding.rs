@@ -165,7 +165,10 @@ mod tests {
         assert_eq!(q.pop(), Some(HeldEntry::SyncPoint(TransferId(1))));
         assert!(matches!(
             q.pop(),
-            Some(HeldEntry::Assignment { transfer: TransferId(2), .. })
+            Some(HeldEntry::Assignment {
+                transfer: TransferId(2),
+                ..
+            })
         ));
     }
 

@@ -6,8 +6,8 @@
 pub mod dedup;
 pub mod holding;
 pub mod log;
-pub mod quiesce;
 pub mod observer;
+pub mod quiesce;
 pub mod state3;
 
 pub use dedup::DuplicateSuppressor;

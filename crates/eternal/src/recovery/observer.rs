@@ -73,12 +73,7 @@ impl OrbStateObserver {
             .connections
             .iter()
             .filter(|(&c, o)| is_client(c) && o.last_request_id.is_some())
-            .map(|(&c, o)| {
-                (
-                    c,
-                    o.last_request_id.expect("filtered Some").wrapping_add(1),
-                )
-            })
+            .map(|(&c, o)| (c, o.last_request_id.expect("filtered Some").wrapping_add(1)))
             .collect();
         v.sort_by_key(|&(c, _)| c);
         v

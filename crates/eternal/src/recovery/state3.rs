@@ -213,7 +213,8 @@ impl ThreeKindsOfState {
     /// Convenience: full round-trip to bytes (big-endian stream).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = CdrEncoder::new(Endian::Big);
-        self.encode(&mut enc).expect("operation names contain no NUL");
+        self.encode(&mut enc)
+            .expect("operation names contain no NUL");
         enc.into_bytes()
     }
 

@@ -42,7 +42,10 @@ impl fmt::Display for GiopError {
             }
             GiopError::UnknownMessageType(t) => write!(f, "unknown GIOP message type {t}"),
             GiopError::SizeMismatch { declared, actual } => {
-                write!(f, "body size mismatch: header says {declared}, got {actual}")
+                write!(
+                    f,
+                    "body size mismatch: header says {declared}, got {actual}"
+                )
             }
             GiopError::Cdr(e) => write!(f, "CDR error in GIOP body: {e}"),
             GiopError::FragmentProtocol(msg) => write!(f, "fragment protocol violation: {msg}"),

@@ -228,10 +228,7 @@ mod tests {
         .to_bytes()
         .unwrap();
         let mut r = Reassembler::new();
-        assert!(matches!(
-            r.push(&frag),
-            Err(GiopError::FragmentProtocol(_))
-        ));
+        assert!(matches!(r.push(&frag), Err(GiopError::FragmentProtocol(_))));
     }
 
     #[test]

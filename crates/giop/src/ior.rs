@@ -135,7 +135,9 @@ impl Ior {
 
     /// Parses the stringified form.
     pub fn from_string_ior(s: &str) -> Result<Ior, GiopError> {
-        let hex = s.strip_prefix("IOR:").ok_or(GiopError::BadIor("missing IOR: prefix"))?;
+        let hex = s
+            .strip_prefix("IOR:")
+            .ok_or(GiopError::BadIor("missing IOR: prefix"))?;
         if hex.len() % 2 != 0 {
             return Err(GiopError::BadIor("odd hex length"));
         }
@@ -216,13 +218,12 @@ mod tests {
 
     #[test]
     fn uppercase_hex_accepted() {
+        // Only the hex body may be uppercased; the "IOR:" prefix is
+        // case-sensitive.
         let ior = sample();
-        let s = ior.to_string_ior().unwrap().to_uppercase().replace("IOR:", "IOR:");
-        // Uppercasing the prefix too would break it; rebuild carefully.
         let hex = &ior.to_string_ior().unwrap()[4..];
-        let s2 = format!("IOR:{}", hex.to_uppercase());
-        assert_eq!(Ior::from_string_ior(&s2).unwrap(), ior);
-        let _ = s;
+        let s = format!("IOR:{}", hex.to_uppercase());
+        assert_eq!(Ior::from_string_ior(&s).unwrap(), ior);
     }
 
     #[test]

@@ -46,10 +46,10 @@ pub use fragment::{fragment_message, Reassembler};
 pub use header::{GiopHeader, MessageType, GIOP_HEADER_LEN, GIOP_MAGIC};
 pub use ior::{IiopProfile, Ior, TaggedComponent, TAG_CODE_SETS, TAG_INTERNET_IOP};
 pub use message::{
-    GiopMessage, LocateReplyMessage, LocateRequestMessage, LocateStatus, ReplyMessage,
-    ReplyStatus, RequestMessage, SystemExceptionBody,
+    GiopMessage, LocateReplyMessage, LocateRequestMessage, LocateStatus, ReplyMessage, ReplyStatus,
+    RequestMessage, SystemExceptionBody,
 };
 pub use service_context::{
-    CodeSetContext, ServiceContext, ServiceContextList, VendorHandshake, CONTEXT_CODE_SETS,
-    CONTEXT_ETERNAL_VENDOR, CODESET_ISO_8859_1, CODESET_UTF_16, CODESET_UTF_8,
+    CodeSetContext, ServiceContext, ServiceContextList, VendorHandshake, CODESET_ISO_8859_1,
+    CODESET_UTF_16, CODESET_UTF_8, CONTEXT_CODE_SETS, CONTEXT_ETERNAL_VENDOR,
 };

@@ -1,119 +1,128 @@
 //! Property-based tests: GIOP messages round-trip through the codec and
 //! survive arbitrary fragmentation, and the parser never panics on
-//! garbage.
+//! garbage. Random cases come from the deterministic `eternal-sim` RNG
+//! (fixed seeds) so the suite builds offline and replays identically.
 
 use eternal_giop::{
     fragment_message, GiopMessage, Reassembler, ReplyMessage, ReplyStatus, RequestMessage,
     ServiceContextList, GIOP_HEADER_LEN,
 };
-use proptest::prelude::*;
+use eternal_sim::rng::SimRng;
 
-fn arb_service_contexts() -> impl Strategy<Value = ServiceContextList> {
-    prop::collection::vec(
-        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..32)),
-        0..4,
-    )
-    .prop_map(|pairs| {
-        let mut list = ServiceContextList::new();
-        for (id, data) in pairs {
-            list.set(id, data);
-        }
-        list
-    })
+fn rand_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let n = rng.gen_range(max_len + 1) as usize;
+    (0..n).map(|_| rng.next_u64() as u8).collect()
 }
 
-fn arb_request() -> impl Strategy<Value = RequestMessage> {
-    (
-        arb_service_contexts(),
-        any::<u32>(),
-        any::<bool>(),
-        prop::collection::vec(any::<u8>(), 0..64),
-        "[a-zA-Z_][a-zA-Z0-9_]{0,30}",
-        prop::collection::vec(any::<u8>(), 0..4096),
-    )
-        .prop_map(
-            |(service_context, request_id, response_expected, object_key, operation, body)| {
-                RequestMessage {
-                    service_context,
-                    request_id,
-                    response_expected,
-                    object_key,
-                    operation,
-                    body,
-                }
-            },
-        )
+fn rand_service_contexts(rng: &mut SimRng) -> ServiceContextList {
+    let mut list = ServiceContextList::new();
+    for _ in 0..rng.gen_range(4) {
+        let id = rng.next_u64() as u32;
+        list.set(id, rand_bytes(rng, 31));
+    }
+    list
 }
 
-fn arb_message() -> impl Strategy<Value = GiopMessage> {
-    prop_oneof![
-        arb_request().prop_map(GiopMessage::Request),
-        (
-            arb_service_contexts(),
-            any::<u32>(),
-            prop::sample::select(vec![
+fn rand_operation(rng: &mut SimRng) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut s = String::new();
+    s.push(*rng.choose(HEAD).unwrap() as char);
+    for _ in 0..rng.gen_range(31) {
+        s.push(*rng.choose(TAIL).unwrap() as char);
+    }
+    s
+}
+
+fn rand_request(rng: &mut SimRng) -> RequestMessage {
+    RequestMessage {
+        service_context: rand_service_contexts(rng),
+        request_id: rng.next_u64() as u32,
+        response_expected: rng.chance(0.5),
+        object_key: rand_bytes(rng, 63),
+        operation: rand_operation(rng),
+        body: rand_bytes(rng, 4095),
+    }
+}
+
+fn rand_message(rng: &mut SimRng) -> GiopMessage {
+    match rng.gen_range(5) {
+        0 => GiopMessage::Request(rand_request(rng)),
+        1 => {
+            let statuses = [
                 ReplyStatus::NoException,
                 ReplyStatus::UserException,
                 ReplyStatus::SystemException,
                 ReplyStatus::LocationForward,
-            ]),
-            prop::collection::vec(any::<u8>(), 0..4096),
-        )
-            .prop_map(|(service_context, request_id, reply_status, body)| {
-                GiopMessage::Reply(ReplyMessage {
-                    service_context,
-                    request_id,
-                    reply_status,
-                    body,
-                })
-            }),
-        any::<u32>().prop_map(|request_id| GiopMessage::CancelRequest { request_id }),
-        Just(GiopMessage::CloseConnection),
-        Just(GiopMessage::MessageError),
-    ]
+            ];
+            GiopMessage::Reply(ReplyMessage {
+                service_context: rand_service_contexts(rng),
+                request_id: rng.next_u64() as u32,
+                reply_status: *rng.choose(&statuses).unwrap(),
+                body: rand_bytes(rng, 4095),
+            })
+        }
+        2 => GiopMessage::CancelRequest {
+            request_id: rng.next_u64() as u32,
+        },
+        3 => GiopMessage::CloseConnection,
+        _ => GiopMessage::MessageError,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn message_round_trips(msg in arb_message()) {
+#[test]
+fn message_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0x610_0001);
+    for _case in 0..128 {
+        let msg = rand_message(&mut rng);
         let bytes = msg.to_bytes().unwrap();
-        prop_assert_eq!(GiopMessage::from_bytes(&bytes).unwrap(), msg);
+        assert_eq!(GiopMessage::from_bytes(&bytes).unwrap(), msg);
     }
+}
 
-    #[test]
-    fn fragmentation_is_identity(msg in arb_message(), max in (GIOP_HEADER_LEN + 1..2000usize)) {
+#[test]
+fn fragmentation_is_identity() {
+    let mut rng = SimRng::seed_from_u64(0x610_0002);
+    for _case in 0..128 {
+        let msg = rand_message(&mut rng);
+        let max = GIOP_HEADER_LEN + 1 + rng.gen_range(2000 - GIOP_HEADER_LEN as u64 - 1) as usize;
         let encoded = msg.to_bytes().unwrap();
         let chunks = fragment_message(&encoded, max);
-        prop_assert!(chunks.iter().all(|c| c.len() <= max));
+        assert!(chunks.iter().all(|c| c.len() <= max));
         let mut r = Reassembler::new();
         let mut out = None;
         for c in &chunks {
             out = r.push(c).unwrap();
         }
-        prop_assert_eq!(out, Some(msg));
-        prop_assert!(!r.has_pending());
+        assert_eq!(out, Some(msg));
+        assert!(!r.has_pending());
     }
+}
 
-    #[test]
-    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn parser_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x610_0003);
+    for _case in 0..256 {
+        let bytes = rand_bytes(&mut rng, 511);
         let _ = GiopMessage::from_bytes(&bytes);
     }
+}
 
-    #[test]
-    fn reassembler_never_panics_on_valid_headers(
-        msgs in prop::collection::vec(arb_message(), 1..4),
-        max in (GIOP_HEADER_LEN + 1..600usize),
-    ) {
-        // Interleave chunks from several messages; errors are acceptable,
-        // panics and wrong reassemblies are not.
+#[test]
+fn reassembler_never_panics_on_valid_headers() {
+    let mut rng = SimRng::seed_from_u64(0x610_0004);
+    for _case in 0..64 {
+        let n = 1 + rng.gen_range(3) as usize;
+        let msgs: Vec<GiopMessage> = (0..n).map(|_| rand_message(&mut rng)).collect();
+        let max = GIOP_HEADER_LEN + 1 + rng.gen_range(600 - GIOP_HEADER_LEN as u64 - 1) as usize;
+        // Feed chunks from several messages in sequence; errors are
+        // acceptable, panics and wrong reassemblies are not.
         let mut r = Reassembler::new();
         for m in &msgs {
             let encoded = m.to_bytes().unwrap();
             for c in fragment_message(&encoded, max) {
                 match r.push(&c) {
-                    Ok(Some(done)) => prop_assert_eq!(&done, m),
+                    Ok(Some(done)) => assert_eq!(&done, m),
                     Ok(None) => {}
                     Err(_) => r.reset(),
                 }

@@ -1,0 +1,210 @@
+//! Dependency-free JSONL export of traces, registries, and timelines.
+//!
+//! One JSON object per line, hand-serialized (the workspace builds
+//! offline with no external crates). Line shapes:
+//!
+//! * trace event — `{"t":…,"src":…,"kind":…,"detail":…}` plus
+//!   `"span"`, `"edge"`, and optional `"parent"` for span edges;
+//! * counter — `{"metric":…,"type":"counter","value":…}`;
+//! * gauge — `{"metric":…,"type":"gauge","value":…}`;
+//! * histogram — `{"metric":…,"type":"histogram","count":…,…}`;
+//! * timeline — `{"timeline":…,"bytes":…,"total_ns":…,"phases":[…]}`.
+//!
+//! Times are integer nanoseconds of virtual time.
+
+use crate::event::{SpanEdge, TraceEvent};
+use crate::metrics::MetricsRegistry;
+use crate::timeline::RecoveryTimeline;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one trace event as a JSON object (no trailing newline).
+pub fn event_to_json(e: &TraceEvent) -> String {
+    let mut line = format!(
+        "{{\"t\":{},\"src\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\"",
+        e.at.as_nanos(),
+        json_escape(&e.source),
+        e.kind.code(),
+        json_escape(&e.detail),
+    );
+    if let Some(span) = e.span {
+        let edge = match span.edge {
+            SpanEdge::Begin => "begin",
+            SpanEdge::End => "end",
+        };
+        let _ = write!(line, ",\"span\":{},\"edge\":\"{edge}\"", span.id.0);
+        if let Some(parent) = span.parent {
+            let _ = write!(line, ",\"parent\":{}", parent.0);
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// Serializes every held trace event, one JSON object per line.
+pub fn trace_to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a registry snapshot, one metric per line.
+pub fn registry_to_jsonl(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"{}\",\"type\":\"counter\",\"value\":{value}}}",
+            json_escape(name)
+        );
+    }
+    for (name, value) in registry.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"{}\",\"type\":\"gauge\",\"value\":{value}}}",
+            json_escape(name)
+        );
+    }
+    for (name, h) in registry.histograms() {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"{}\",\"type\":\"histogram\",\"count\":{},\"min_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            json_escape(name),
+            h.count(),
+            h.min().as_nanos(),
+            h.mean().as_nanos(),
+            h.p50().as_nanos(),
+            h.p95().as_nanos(),
+            h.p99().as_nanos(),
+            h.max().as_nanos(),
+        );
+    }
+    out
+}
+
+/// Serializes recovery timelines, one episode per line.
+pub fn timelines_to_jsonl(timelines: &[RecoveryTimeline]) -> String {
+    let mut out = String::new();
+    for t in timelines {
+        let _ = write!(
+            out,
+            "{{\"timeline\":\"{}\",\"bytes\":{},\"launched_ns\":{},\"operational_ns\":{},\"total_ns\":{},\"phases\":[",
+            json_escape(&t.label),
+            t.app_state_bytes,
+            t.launched_at.as_nanos(),
+            t.operational_at.as_nanos(),
+            t.total().as_nanos(),
+        );
+        for (i, p) in t.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\":\"{}\",\"begin_ns\":{},\"end_ns\":{}}}",
+                p.phase.name(),
+                p.begin.as_nanos(),
+                p.end.as_nanos(),
+            );
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, RecoveryPhase};
+    use crate::time::{Duration, SimTime};
+    use crate::timeline::PhaseSpan;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn trace_events_export_one_line_each() {
+        let mut tr = Trace::new();
+        tr.record(
+            SimTime::from_nanos(5),
+            "P0/rm",
+            EventKind::ReplicaKilled,
+            "say \"hi\"",
+        );
+        let id = tr.span_begin(
+            SimTime::from_nanos(10),
+            "P1",
+            EventKind::RecoveryEpisode,
+            "",
+            None,
+        );
+        tr.span_end(SimTime::from_nanos(20), id);
+        let text = trace_to_jsonl(&tr);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"t\":5,\"src\":\"P0/rm\",\"kind\":\"replica.killed\",\"detail\":\"say \\\"hi\\\"\"}"
+        );
+        assert!(lines[1].contains("\"span\":1,\"edge\":\"begin\""));
+        assert!(lines[2].contains("\"edge\":\"end\""));
+    }
+
+    #[test]
+    fn registry_exports_all_metric_types() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", 2);
+        r.gauge_set("g", -1);
+        r.histogram_record("h", Duration::from_micros(7));
+        let text = registry_to_jsonl(&r);
+        assert!(text.contains("{\"metric\":\"c\",\"type\":\"counter\",\"value\":2}"));
+        assert!(text.contains("{\"metric\":\"g\",\"type\":\"gauge\",\"value\":-1}"));
+        assert!(text.contains("\"type\":\"histogram\",\"count\":1"));
+        assert!(text.contains("\"max_ns\":7000"));
+    }
+
+    #[test]
+    fn timeline_exports_phase_array() {
+        let tl = RecoveryTimeline {
+            label: "G0 -> P2".into(),
+            launched_at: SimTime::from_nanos(0),
+            operational_at: SimTime::from_nanos(50),
+            app_state_bytes: 16,
+            phases: vec![PhaseSpan {
+                phase: RecoveryPhase::Quiesce,
+                begin: SimTime::from_nanos(0),
+                end: SimTime::from_nanos(50),
+            }],
+        };
+        let text = timelines_to_jsonl(&[tl]);
+        assert!(text.contains("\"timeline\":\"G0 -> P2\""));
+        assert!(text.contains("\"total_ns\":50"));
+        assert!(text.contains("{\"phase\":\"quiesce\",\"begin_ns\":0,\"end_ns\":50}"));
+    }
+}

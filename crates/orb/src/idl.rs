@@ -152,10 +152,7 @@ mod tests {
     fn lookups_and_kinds() {
         let i = account();
         assert!(i.has_operation("deposit"));
-        assert_eq!(
-            i.operation("notify").unwrap().kind,
-            OperationKind::OneWay
-        );
+        assert_eq!(i.operation("notify").unwrap().kind, OperationKind::OneWay);
         assert!(!i.has_operation("transfer"));
         assert_eq!(i.operations().count(), 4);
     }

@@ -102,9 +102,6 @@ mod tests {
         // 8 bytes starting with the prefix cannot be produced by
         // ObjectKey::new, but parse must not misread them as short.
         let bytes = b"\xffSK12345".to_vec();
-        assert!(matches!(
-            ObjectKey::parse_wire(&bytes),
-            WireKey::Full(_)
-        ));
+        assert!(matches!(ObjectKey::parse_wire(&bytes), WireKey::Full(_)));
     }
 }

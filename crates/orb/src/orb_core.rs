@@ -13,10 +13,11 @@
 use crate::client::{ClientConnection, ReplyOutcome};
 use crate::object::ObjectKey;
 use crate::poa::Poa;
-use crate::state::OrbLevelState;
 use crate::server::ServerConnection;
+use crate::state::OrbLevelState;
 use crate::OrbError;
 use eternal_giop::{IiopProfile, Ior};
+use eternal_obs::{EventKind, MetricsRegistry, SimTime, Trace};
 use std::collections::BTreeMap;
 
 /// A miniature Object Request Broker.
@@ -27,11 +28,19 @@ pub struct Orb {
     clients: BTreeMap<u64, ClientConnection>,
     servers: BTreeMap<u64, ServerConnection>,
     next_conn_id: u64,
+    /// Virtual time of the event currently being processed; set by the
+    /// driver via [`Orb::set_clock`] so trace timestamps are meaningful.
+    clock: SimTime,
+    /// Per-ORB trace of request-id progress and handshake events;
+    /// disabled (no allocation on any path) unless [`Orb::enable_obs`]
+    /// is called.
+    trace: Trace,
+    metrics: MetricsRegistry,
 }
 
 impl Orb {
     /// Creates an ORB identified by `host` (in the simulation, the
-    /// processor name).
+    /// processor name). Observability is off until [`Orb::enable_obs`].
     pub fn new(host: impl Into<String>) -> Self {
         Orb {
             host: host.into(),
@@ -39,7 +48,31 @@ impl Orb {
             clients: BTreeMap::new(),
             servers: BTreeMap::new(),
             next_conn_id: 1,
+            clock: SimTime::ZERO,
+            trace: Trace::disabled(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Turns on event tracing with the given ring-buffer capacity.
+    pub fn enable_obs(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// Advances the virtual clock used to timestamp trace events.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.clock = now;
+    }
+
+    /// This ORB's event trace.
+    pub fn obs_trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// This ORB's layer-local metrics (counters only increment while
+    /// processing; the driver merges them into the cluster registry).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The host name this ORB publishes in IORs.
@@ -102,7 +135,9 @@ impl Orb {
     ///
     /// [`OrbError::UnknownConnection`] if absent.
     pub fn client(&mut self, id: u64) -> Result<&mut ClientConnection, OrbError> {
-        self.clients.get_mut(&id).ok_or(OrbError::UnknownConnection(id))
+        self.clients
+            .get_mut(&id)
+            .ok_or(OrbError::UnknownConnection(id))
     }
 
     /// The server connection with the given id.
@@ -111,7 +146,9 @@ impl Orb {
     ///
     /// [`OrbError::UnknownConnection`] if absent.
     pub fn server(&mut self, id: u64) -> Result<&mut ServerConnection, OrbError> {
-        self.servers.get_mut(&id).ok_or(OrbError::UnknownConnection(id))
+        self.servers
+            .get_mut(&id)
+            .ok_or(OrbError::UnknownConnection(id))
     }
 
     /// Builds a request on client connection `conn`, returning
@@ -128,7 +165,19 @@ impl Orb {
         args: &[u8],
         response_expected: bool,
     ) -> Result<(u32, Vec<u8>), OrbError> {
-        self.client(conn)?.build_request(key, operation, args, response_expected)
+        let built = self
+            .client(conn)?
+            .build_request(key, operation, args, response_expected)?;
+        if self.trace.is_enabled() {
+            self.metrics.counter_add("orb.requests_built", 1);
+            self.trace.record(
+                self.clock,
+                format!("{}/orb", self.host),
+                EventKind::OrbRequestIssued,
+                format!("conn={conn} id={} op={operation}", built.0),
+            );
+        }
+        Ok(built)
     }
 
     /// Feeds incoming request bytes to server connection `conn`;
@@ -161,7 +210,53 @@ impl Orb {
             .servers
             .get_mut(&conn)
             .ok_or(OrbError::UnknownConnection(conn))?;
-        server.handle_request_disposed(bytes, &mut self.poa)
+        let negotiated_before = server.is_negotiated();
+        let result = server.handle_request_disposed(bytes, &mut self.poa);
+        if self.trace.is_enabled() {
+            let source = format!("{}/orb", self.host);
+            if let Ok((_, disposition)) = &result {
+                let negotiated_after = self.servers.get(&conn).is_some_and(|s| s.is_negotiated());
+                if !negotiated_before && negotiated_after {
+                    self.metrics.counter_add("orb.handshakes_negotiated", 1);
+                    self.trace.record(
+                        self.clock,
+                        source.clone(),
+                        EventKind::OrbHandshakeNegotiated,
+                        format!("conn={conn}"),
+                    );
+                }
+                let last_id = self
+                    .servers
+                    .get(&conn)
+                    .and_then(|s| s.orb_level_state().last_seen_request_id);
+                let id_detail = match last_id {
+                    Some(id) => format!("conn={conn} id={id}"),
+                    None => format!("conn={conn}"),
+                };
+                match disposition {
+                    crate::server::RequestDisposition::Dispatched => {
+                        self.metrics.counter_add("orb.requests_dispatched", 1);
+                        self.trace.record(
+                            self.clock,
+                            source,
+                            EventKind::OrbRequestDispatched,
+                            id_detail,
+                        );
+                    }
+                    crate::server::RequestDisposition::DiscardedUnnegotiated => {
+                        self.metrics
+                            .counter_add("orb.requests_discarded_unnegotiated", 1);
+                        self.trace.record(
+                            self.clock,
+                            source,
+                            EventKind::OrbRequestDiscarded,
+                            id_detail,
+                        );
+                    }
+                }
+            }
+        }
+        result
     }
 
     /// Feeds incoming reply bytes to client connection `conn`.
@@ -171,7 +266,60 @@ impl Orb {
     /// Unknown connection, parse failure, or a request-id mismatch (the
     /// reply is then discarded, per §4.2.1).
     pub fn handle_reply(&mut self, conn: u64, bytes: &[u8]) -> Result<ReplyOutcome, OrbError> {
-        self.client(conn)?.handle_reply(bytes)
+        let result = self.client(conn)?.handle_reply(bytes);
+        if self.trace.is_enabled() {
+            let source = format!("{}/orb", self.host);
+            match &result {
+                Ok(outcome) => {
+                    self.metrics.counter_add("orb.replies_matched", 1);
+                    self.trace.record(
+                        self.clock,
+                        source,
+                        EventKind::OrbReplyMatched,
+                        format!(
+                            "conn={conn} id={} op={}",
+                            outcome.request_id, outcome.operation
+                        ),
+                    );
+                }
+                Err(err) => {
+                    self.metrics.counter_add("orb.replies_discarded", 1);
+                    self.trace.record(
+                        self.clock,
+                        source,
+                        EventKind::OrbReplyDiscarded,
+                        format!("conn={conn} {err}"),
+                    );
+                }
+            }
+        }
+        result
+    }
+
+    /// Dispatches a control operation (`get_state` / `set_state`) to an
+    /// active object through the POA, outside of any connection — used
+    /// by Eternal's recovery mechanisms. Recorded in the trace so tests
+    /// can order state application against normal dispatches.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the POA dispatch raises (no such object, servant error).
+    pub fn dispatch_control(
+        &mut self,
+        key: &ObjectKey,
+        operation: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, OrbError> {
+        if self.trace.is_enabled() {
+            self.metrics.counter_add("orb.control_dispatches", 1);
+            self.trace.record(
+                self.clock,
+                format!("{}/orb", self.host),
+                EventKind::OrbControlDispatch,
+                format!("op={operation} key={key}"),
+            );
+        }
+        self.poa.dispatch(key, operation, args)
     }
 
     /// Ground-truth snapshot of all ORB/POA-level state (tests compare
@@ -239,7 +387,9 @@ mod tests {
         let cconn = client_orb.open_client_connection();
 
         for expected in 1..=3u32 {
-            let (_, req) = client_orb.invoke(cconn, &key, "increment", &[], true).unwrap();
+            let (_, req) = client_orb
+                .invoke(cconn, &key, "increment", &[], true)
+                .unwrap();
             let reply = server_orb.handle_request(sconn, &req).unwrap().unwrap();
             let out = client_orb.handle_reply(cconn, &reply).unwrap();
             assert_eq!(out.body, expected.to_be_bytes());

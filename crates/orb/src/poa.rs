@@ -92,7 +92,11 @@ impl Poa {
     ///
     /// Panics if the key is already active (programming error in
     /// deployment code).
-    pub fn activate_checkpointable(&mut self, key: ObjectKey, servant: Box<dyn CheckpointableServant>) {
+    pub fn activate_checkpointable(
+        &mut self,
+        key: ObjectKey,
+        servant: Box<dyn CheckpointableServant>,
+    ) {
         self.insert(key, Registered::Checkpointable(servant))
             .expect("object key already active");
     }
@@ -189,9 +193,7 @@ impl Poa {
     pub fn get_state_of(&self, key: &ObjectKey) -> Result<Any, OrbError> {
         match self.servants.get(key) {
             Some(Registered::Checkpointable(s)) => s.get_state().map_err(OrbError::Servant),
-            Some(Registered::Plain(_)) => {
-                Err(OrbError::Servant(ServantError::NoStateAvailable))
-            }
+            Some(Registered::Plain(_)) => Err(OrbError::Servant(ServantError::NoStateAvailable)),
             None => Err(OrbError::ObjectNotExist(key.to_string())),
         }
     }

@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(ServantError::NoStateAvailable.to_string(), "NoStateAvailable");
+        assert_eq!(
+            ServantError::NoStateAvailable.to_string(),
+            "NoStateAvailable"
+        );
         assert!(ServantError::BadOperation("x".into())
             .to_string()
             .contains("x"));

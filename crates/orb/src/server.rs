@@ -184,16 +184,10 @@ impl ServerConnection {
     /// # Errors
     ///
     /// Parse failures, or a non-locate message.
-    pub fn handle_locate_request(
-        &mut self,
-        bytes: &[u8],
-        poa: &Poa,
-    ) -> Result<Vec<u8>, OrbError> {
+    pub fn handle_locate_request(&mut self, bytes: &[u8], poa: &Poa) -> Result<Vec<u8>, OrbError> {
         let msg = GiopMessage::from_bytes(bytes)?;
         let GiopMessage::LocateRequest(req) = msg else {
-            return Err(OrbError::UnexpectedMessage(
-                "expected a LocateRequest",
-            ));
+            return Err(OrbError::UnexpectedMessage("expected a LocateRequest"));
         };
         let status = match ObjectKey::parse_wire(&req.object_key) {
             WireKey::Full(k) if poa.is_active(&k) => eternal_giop::LocateStatus::ObjectHere,
@@ -287,7 +281,9 @@ mod tests {
     #[test]
     fn full_round_trip() {
         let (mut client, mut server, mut poa) = setup();
-        let (id, req) = client.build_request(&key(), "increment", &[], true).unwrap();
+        let (id, req) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
         let reply = server.handle_request(&req, &mut poa).unwrap().unwrap();
         let out = client.handle_reply(&reply).unwrap();
         assert_eq!(out.request_id, id);
@@ -299,13 +295,17 @@ mod tests {
     #[test]
     fn handshake_negotiates_both_sides() {
         let (mut client, mut server, mut poa) = setup();
-        let (_, req) = client.build_request(&key(), "increment", &[], true).unwrap();
+        let (_, req) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
         let reply = server.handle_request(&req, &mut poa).unwrap().unwrap();
         client.handle_reply(&reply).unwrap();
         assert!(server.is_negotiated());
         assert!(client.is_negotiated());
         // Second request travels with the short key and still works.
-        let (_, req2) = client.build_request(&key(), "increment", &[], true).unwrap();
+        let (_, req2) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
         let GiopMessage::Request(parsed) = GiopMessage::from_bytes(&req2).unwrap() else {
             panic!("not a request");
         };
@@ -320,17 +320,19 @@ mod tests {
         // Reproduce §4.2.2: client negotiated with replica B1; fresh
         // replica B2 (new ServerConnection) missed the handshake.
         let (mut client, mut b1, mut poa1) = setup();
-        let (_, req) = client.build_request(&key(), "increment", &[], true).unwrap();
+        let (_, req) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
         let reply = b1.handle_request(&req, &mut poa1).unwrap().unwrap();
         client.handle_reply(&reply).unwrap();
 
         let mut b2 = ServerConnection::new(2);
         let mut poa2 = Poa::new();
         poa2.activate_checkpointable(key(), Box::new(Counter(0)));
-        let (_, short_req) = client.build_request(&key(), "increment", &[], true).unwrap();
-        let (reply, disposition) = b2
-            .handle_request_disposed(&short_req, &mut poa2)
+        let (_, short_req) = client
+            .build_request(&key(), "increment", &[], true)
             .unwrap();
+        let (reply, disposition) = b2.handle_request_disposed(&short_req, &mut poa2).unwrap();
         assert_eq!(reply, None, "request silently discarded");
         assert_eq!(disposition, RequestDisposition::DiscardedUnnegotiated);
         assert_eq!(b2.discarded_requests(), 1);
@@ -343,8 +345,13 @@ mod tests {
         // Eternal's fix: replay the stored handshake message into the new
         // replica's ORB ahead of any other request (§4.2.2).
         let (mut client, mut b1, mut poa1) = setup();
-        let (_, handshake_req) = client.build_request(&key(), "increment", &[], true).unwrap();
-        let reply = b1.handle_request(&handshake_req, &mut poa1).unwrap().unwrap();
+        let (_, handshake_req) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
+        let reply = b1
+            .handle_request(&handshake_req, &mut poa1)
+            .unwrap()
+            .unwrap();
         client.handle_reply(&reply).unwrap();
 
         let mut b2 = ServerConnection::new(2);
@@ -355,7 +362,9 @@ mod tests {
         let _ = b2.handle_request(&handshake_req, &mut poa2).unwrap();
         assert!(b2.is_negotiated());
         // Now the short-key request works at B2.
-        let (_, short_req) = client.build_request(&key(), "increment", &[], true).unwrap();
+        let (_, short_req) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
         assert!(b2.handle_request(&short_req, &mut poa2).unwrap().is_some());
         assert_eq!(b2.discarded_requests(), 0);
     }
@@ -387,7 +396,9 @@ mod tests {
     #[test]
     fn oneway_produces_no_reply() {
         let (mut client, mut server, mut poa) = setup();
-        let (_, req) = client.build_request(&key(), "increment", &[], false).unwrap();
+        let (_, req) = client
+            .build_request(&key(), "increment", &[], false)
+            .unwrap();
         assert!(server.handle_request(&req, &mut poa).unwrap().is_none());
         assert_eq!(server.handled_requests(), 1);
     }
@@ -396,7 +407,9 @@ mod tests {
     fn reply_echoes_request_id() {
         let (mut client, mut server, mut poa) = setup();
         client.restore_request_id(350);
-        let (_, req) = client.build_request(&key(), "increment", &[], true).unwrap();
+        let (_, req) = client
+            .build_request(&key(), "increment", &[], true)
+            .unwrap();
         let reply = server.handle_request(&req, &mut poa).unwrap().unwrap();
         let GiopMessage::Reply(parsed) = GiopMessage::from_bytes(&reply).unwrap() else {
             panic!("not a reply");
@@ -409,11 +422,15 @@ mod tests {
     fn get_set_state_through_the_wire() {
         let (mut client, mut server, mut poa) = setup();
         for _ in 0..3 {
-            let (_, req) = client.build_request(&key(), "increment", &[], true).unwrap();
+            let (_, req) = client
+                .build_request(&key(), "increment", &[], true)
+                .unwrap();
             let reply = server.handle_request(&req, &mut poa).unwrap().unwrap();
             client.handle_reply(&reply).unwrap();
         }
-        let (_, get_req) = client.build_request(&key(), "get_state", &[], true).unwrap();
+        let (_, get_req) = client
+            .build_request(&key(), "get_state", &[], true)
+            .unwrap();
         let reply = server.handle_request(&get_req, &mut poa).unwrap().unwrap();
         let out = client.handle_reply(&reply).unwrap();
         let state = Any::from_bytes(&out.body).unwrap();

@@ -72,8 +72,10 @@ mod tests {
         assert!(!n.is_negotiated());
         n.short_keys.insert(1, b"full".to_vec());
         assert!(n.is_negotiated());
-        let mut n2 = NegotiatedState::default();
-        n2.code_sets = Some(CodeSetContext::default_sets());
+        let n2 = NegotiatedState {
+            code_sets: Some(CodeSetContext::default_sets()),
+            ..NegotiatedState::default()
+        };
         assert!(n2.is_negotiated());
     }
 }

@@ -108,10 +108,8 @@ fn figure_4_replayed_literally() {
     assert_eq!(recovered.next_request_id(), 0);
 
     // (c) Both replicas dispatch their next invocation of B.
-    let (id_existing, req_existing) =
-        existing.build_request(&key(), "read", &[], true).unwrap();
-    let (id_recovered, req_recovered) =
-        recovered.build_request(&key(), "read", &[], true).unwrap();
+    let (id_existing, req_existing) = existing.build_request(&key(), "read", &[], true).unwrap();
+    let (id_recovered, req_recovered) = recovered.build_request(&key(), "read", &[], true).unwrap();
     assert_eq!(id_existing, 351);
     assert_eq!(id_recovered, 0);
     // Identical in content, different request ids.
@@ -126,7 +124,10 @@ fn figure_4_replayed_literally() {
 
     // Suppose the recovered replica's copy (request_id 0) is the one
     // delivered to B. B replies with request_id 0.
-    let reply = server_orb.handle_request(sconn, &req_recovered).unwrap().unwrap();
+    let reply = server_orb
+        .handle_request(sconn, &req_recovered)
+        .unwrap()
+        .unwrap();
 
     // The recovered replica's ORB accepts the reply…
     assert!(recovered.handle_reply(&reply).is_ok());
@@ -140,7 +141,9 @@ fn figure_4_replayed_literally() {
     // Eternal's fix: restore the counter before the replica invokes.
     let mut properly_recovered = ClientConnection::new(3);
     properly_recovered.restore_request_id(existing.orb_level_state().next_request_id - 1);
-    let (id, _) = properly_recovered.build_request(&key(), "read", &[], true).unwrap();
+    let (id, _) = properly_recovered
+        .build_request(&key(), "read", &[], true)
+        .unwrap();
     assert_eq!(id, 351, "both ORBs now assign the same id");
 }
 
@@ -201,7 +204,9 @@ fn deactivated_object_raises_object_not_exist() {
 #[test]
 fn ior_round_trip_names_the_object() {
     let (server_orb, _) = server();
-    let ior = server_orb.object_to_ior(&key(), "IDL:Register:1.0").unwrap();
+    let ior = server_orb
+        .object_to_ior(&key(), "IDL:Register:1.0")
+        .unwrap();
     let s = ior.to_string_ior().unwrap();
     let parsed = eternal_giop::Ior::from_string_ior(&s).unwrap();
     assert_eq!(parsed.profile.object_key, key().as_bytes());

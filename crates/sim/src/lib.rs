@@ -36,8 +36,14 @@ pub mod net;
 pub mod rng;
 pub mod sched;
 pub mod stats;
-pub mod time;
-pub mod trace;
+
+// Virtual time and the trace/span machinery moved down into
+// `eternal-obs` so layers without a simulator dependency (the ORB) can
+// timestamp events; re-export them here so `eternal_sim::time::…` and
+// `eternal_sim::trace::…` paths keep working.
+pub use eternal_obs as obs;
+pub use eternal_obs::time;
+pub use eternal_obs::trace;
 
 pub use net::{NetworkConfig, NetworkModel};
 pub use sched::Scheduler;

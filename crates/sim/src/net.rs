@@ -348,8 +348,10 @@ mod tests {
 
     #[test]
     fn loss_probability_drops_frames() {
-        let mut cfg = NetworkConfig::default();
-        cfg.loss_probability = 1.0;
+        let cfg = NetworkConfig {
+            loss_probability: 1.0,
+            ..NetworkConfig::default()
+        };
         let mut n = NetworkModel::new(2, cfg, 1);
         assert!(n.multicast(NodeId(0), 10, SimTime::ZERO).is_empty());
         assert_eq!(n.frames_dropped(), 1);

@@ -39,7 +39,9 @@ impl DurationSummary {
             return None;
         }
         let sum: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
-        Some(Duration::from_nanos((sum / self.samples.len() as u128) as u64))
+        Some(Duration::from_nanos(
+            (sum / self.samples.len() as u128) as u64,
+        ))
     }
 
     /// Smallest sample.
@@ -170,7 +172,11 @@ impl DurationHistogram {
     /// `(upper bound, count)` pairs plus the overflow count.
     pub fn buckets(&self) -> (Vec<(Duration, u64)>, u64) {
         (
-            self.bounds.iter().copied().zip(self.counts.iter().copied()).collect(),
+            self.bounds
+                .iter()
+                .copied()
+                .zip(self.counts.iter().copied())
+                .collect(),
             self.overflow,
         )
     }

@@ -1,35 +1,41 @@
 //! Property tests for the simulation kernel: scheduler ordering and
-//! determinism, network-model timing laws.
+//! determinism, network-model timing laws. Randomized cases are driven
+//! by the crate's own deterministic [`SimRng`] (fixed seeds) so the
+//! suite builds offline and replays identically.
 
 use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
 use eternal_sim::rng::SimRng;
 use eternal_sim::{Duration, Scheduler, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events pop in non-decreasing time order, FIFO within a tie.
-    #[test]
-    fn scheduler_pops_in_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Events pop in non-decreasing time order, FIFO within a tie.
+#[test]
+fn scheduler_pops_in_order() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0001);
+    for _case in 0..64 {
+        let n = 1 + rng.gen_range(199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000)).collect();
         let mut s = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             s.schedule_at(SimTime::from_nanos(t), (t, i));
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((at, (t, i))) = s.pop() {
-            prop_assert_eq!(at, SimTime::from_nanos(t));
+            assert_eq!(at, SimTime::from_nanos(t));
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+                assert!(t > lt || (t == lt && i > li), "order violated");
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Cancelling a subset removes exactly that subset.
-    #[test]
-    fn scheduler_cancellation_is_exact(
-        n in 1usize..100,
-        cancel_mask in prop::collection::vec(any::<bool>(), 100),
-    ) {
+/// Cancelling a subset removes exactly that subset.
+#[test]
+fn scheduler_cancellation_is_exact() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0002);
+    for _case in 0..64 {
+        let n = 1 + rng.gen_range(99) as usize;
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut s = Scheduler::new();
         let ids: Vec<_> = (0..n)
             .map(|i| s.schedule_at(SimTime::from_nanos(i as u64), i))
@@ -37,66 +43,87 @@ proptest! {
         let mut kept = Vec::new();
         for (i, id) in ids.iter().enumerate() {
             if cancel_mask[i] {
-                prop_assert!(s.cancel(*id));
+                assert!(s.cancel(*id));
             } else {
                 kept.push(i);
             }
         }
         let popped: Vec<usize> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        prop_assert_eq!(popped, kept);
+        assert_eq!(popped, kept);
     }
+}
 
-    /// Serialization time is monotone in payload and frames never beat
-    /// light: arrival ≥ send + serialization + propagation.
-    #[test]
-    fn network_timing_laws(payloads in prop::collection::vec(1usize..1472, 1..50)) {
+/// Serialization time is monotone in payload and frames never beat
+/// light: arrival ≥ send + serialization + propagation.
+#[test]
+fn network_timing_laws() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0003);
+    for _case in 0..32 {
+        let n = 1 + rng.gen_range(49) as usize;
+        let payloads: Vec<usize> = (0..n).map(|_| 1 + rng.gen_range(1471) as usize).collect();
         let cfg = NetworkConfig::default();
         let mut net = NetworkModel::new(2, cfg.clone(), 1);
         let mut now = SimTime::ZERO;
         for &p in &payloads {
             let deliveries = net.multicast(NodeId(0), p, now);
-            prop_assert_eq!(deliveries.len(), 1);
+            assert_eq!(deliveries.len(), 1);
             let min_arrival = now + cfg.serialization_time(p) + cfg.propagation_delay;
-            prop_assert!(deliveries[0].at >= min_arrival);
-            now = now + Duration::from_nanos(1);
+            assert!(deliveries[0].at >= min_arrival);
+            now += Duration::from_nanos(1);
         }
     }
+}
 
-    /// The medium serializes: two frames sent at the same instant arrive
-    /// strictly ordered, separated by at least the first frame's
-    /// serialization time.
-    #[test]
-    fn shared_medium_serializes(p1 in 1usize..1472, p2 in 1usize..1472) {
+/// The medium serializes: two frames sent at the same instant arrive
+/// strictly ordered, separated by at least the first frame's
+/// serialization time.
+#[test]
+fn shared_medium_serializes() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0004);
+    for _case in 0..64 {
+        let p1 = 1 + rng.gen_range(1471) as usize;
+        let p2 = 1 + rng.gen_range(1471) as usize;
         let cfg = NetworkConfig::default();
         let mut net = NetworkModel::new(3, cfg.clone(), 2);
         let d1 = net.multicast(NodeId(0), p1, SimTime::ZERO);
         let d2 = net.multicast(NodeId(1), p2, SimTime::ZERO);
-        prop_assert!(d2[0].at >= d1[0].at + cfg.serialization_time(p2));
+        assert!(d2[0].at >= d1[0].at + cfg.serialization_time(p2));
     }
+}
 
-    /// frames_for × payload covers the message exactly.
-    #[test]
-    fn fragmentation_arithmetic(len in 0usize..2_000_000) {
+/// frames_for × payload covers the message exactly.
+#[test]
+fn fragmentation_arithmetic() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0005);
+    let mut lens: Vec<usize> = (0..128)
+        .map(|_| rng.gen_range(2_000_000) as usize)
+        .collect();
+    lens.extend([0, 1, 1472, 1473, 1_999_999]);
+    for len in lens {
         let cfg = NetworkConfig::default();
         let frames = cfg.frames_for(len);
-        prop_assert!(frames >= 1);
-        prop_assert!(frames * cfg.frame_payload() >= len);
+        assert!(frames >= 1);
+        assert!(frames * cfg.frame_payload() >= len);
         if len > cfg.frame_payload() {
-            prop_assert!((frames - 1) * cfg.frame_payload() < len);
+            assert!((frames - 1) * cfg.frame_payload() < len);
         }
     }
+}
 
-    /// The PRNG stream is identical for identical seeds and the
-    /// exponential draw is always positive and finite.
-    #[test]
-    fn rng_reproducibility(seed in any::<u64>()) {
+/// The PRNG stream is identical for identical seeds and the
+/// exponential draw is always positive and finite.
+#[test]
+fn rng_reproducibility() {
+    let mut seeder = SimRng::seed_from_u64(0x5EED_0006);
+    for _case in 0..64 {
+        let seed = seeder.next_u64();
         let mut a = SimRng::seed_from_u64(seed);
         let mut b = SimRng::seed_from_u64(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         let e = a.exponential(3.0);
-        prop_assert!(e.is_finite() && e >= 0.0);
+        assert!(e.is_finite() && e >= 0.0);
     }
 }
 

@@ -50,7 +50,10 @@ impl TotemConfig {
             self.token_retransmit_timeout < self.token_loss_timeout,
             "token retransmit timeout must be shorter than token loss timeout"
         );
-        assert!(self.max_messages_per_token > 0, "flow control must allow progress");
+        assert!(
+            self.max_messages_per_token > 0,
+            "flow control must allow progress"
+        );
         assert!(self.window_size > 0, "window must allow progress");
     }
 }

@@ -162,7 +162,11 @@ impl TotemHarness {
         match event {
             Event::Frame { dst, frame } => {
                 if self.is_alive(dst) {
-                    let actions = self.nodes.get_mut(&dst).expect("known node").handle_frame(frame);
+                    let actions = self
+                        .nodes
+                        .get_mut(&dst)
+                        .expect("known node")
+                        .handle_frame(frame);
                     self.apply_actions(dst, actions);
                 }
             }
@@ -173,7 +177,11 @@ impl TotemHarness {
             } => {
                 let current = self.timer_gen.get(&(node, timer)).copied().unwrap_or(0);
                 if generation == current && self.is_alive(node) {
-                    let actions = self.nodes.get_mut(&node).expect("known node").handle_timer(timer);
+                    let actions = self
+                        .nodes
+                        .get_mut(&node)
+                        .expect("known node")
+                        .handle_timer(timer);
                     self.apply_actions(node, actions);
                 }
             }
@@ -272,7 +280,10 @@ impl TotemHarness {
                     *self.timer_gen.entry((src, timer)).or_insert(0) += 1;
                 }
                 Action::Deliver(delivery) => {
-                    self.delivered.get_mut(&src).expect("known node").push(delivery);
+                    self.delivered
+                        .get_mut(&src)
+                        .expect("known node")
+                        .push(delivery);
                 }
             }
         }
@@ -320,8 +331,10 @@ mod tests {
 
     #[test]
     fn lossy_network_still_delivers_total_order() {
-        let mut net_cfg = NetworkConfig::default();
-        net_cfg.loss_probability = 0.05;
+        let net_cfg = NetworkConfig {
+            loss_probability: 0.05,
+            ..NetworkConfig::default()
+        };
         let mut h = TotemHarness::with_network(3, TotemConfig::default(), net_cfg, 3);
         h.run_until_formed();
         for i in 0..50u32 {
@@ -426,8 +439,10 @@ mod tests {
 
     #[test]
     fn no_duplicate_deliveries_under_loss_and_failure() {
-        let mut net_cfg = NetworkConfig::default();
-        net_cfg.loss_probability = 0.02;
+        let net_cfg = NetworkConfig {
+            loss_probability: 0.02,
+            ..NetworkConfig::default()
+        };
         let mut h = TotemHarness::with_network(3, TotemConfig::default(), net_cfg, 8);
         h.run_until_formed();
         for i in 0..30u32 {

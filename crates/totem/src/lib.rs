@@ -54,5 +54,5 @@ pub mod node;
 pub mod types;
 
 pub use config::TotemConfig;
-pub use node::{Action, Delivery, TotemNode};
+pub use node::{Action, Delivery, TotemNode, TotemStats};
 pub use types::{Frame, Payload, RingId, Timer};

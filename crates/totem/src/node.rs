@@ -140,6 +140,30 @@ pub struct TotemNode {
     broadcast_count: u64,
     delivered_count: u64,
     config_changes: u64,
+    retransmits_served: u64,
+    token_retransmits: u64,
+    reformations: u64,
+}
+
+/// Snapshot of a node's protocol counters, for export into a metrics
+/// registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TotemStats {
+    /// Application messages this node has broadcast.
+    pub broadcasts: u64,
+    /// Ordered deliveries made to the application.
+    pub delivered: u64,
+    /// Configuration changes delivered.
+    pub config_changes: u64,
+    /// Regular messages re-multicast in answer to a token's
+    /// retransmission-request list.
+    pub retransmits_served: u64,
+    /// Times this node re-sent a forwarded token/commit frame because
+    /// the successor did not take it in time.
+    pub token_retransmits: u64,
+    /// Membership reformations (gather entries) this node initiated or
+    /// joined.
+    pub reformations: u64,
 }
 
 impl TotemNode {
@@ -168,6 +192,9 @@ impl TotemNode {
             broadcast_count: 0,
             delivered_count: 0,
             config_changes: 0,
+            retransmits_served: 0,
+            token_retransmits: 0,
+            reformations: 0,
         }
     }
 
@@ -204,6 +231,18 @@ impl TotemNode {
     /// Number of configuration changes delivered.
     pub fn config_changes(&self) -> u64 {
         self.config_changes
+    }
+
+    /// Snapshot of all protocol counters.
+    pub fn stats(&self) -> TotemStats {
+        TotemStats {
+            broadcasts: self.broadcast_count,
+            delivered: self.delivered_count,
+            config_changes: self.config_changes,
+            retransmits_served: self.retransmits_served,
+            token_retransmits: self.token_retransmits,
+            reformations: self.reformations,
+        }
     }
 
     /// Number of app payloads waiting to be sequenced.
@@ -279,6 +318,7 @@ impl TotemNode {
             Timer::TokenRetransmit => {
                 if let Some(frame) = self.forwarded.clone() {
                     self.retransmit_count += 1;
+                    self.token_retransmits += 1;
                     if self.retransmit_count > 10 {
                         // The next member is unreachable; reform now
                         // rather than waiting for token loss.
@@ -351,6 +391,7 @@ impl TotemNode {
                 self.id, self.phase, self.ring, self.gather_reason
             );
         }
+        self.reformations += 1;
         let mut proc_set: BTreeSet<NodeId> = self.members.iter().copied().collect();
         proc_set.insert(self.id);
         proc_set.extend(extra_procs);
@@ -392,13 +433,19 @@ impl TotemNode {
                     let mut procs = BTreeSet::new();
                     procs.extend(j.proc_set.iter().copied());
                     procs.insert(j.sender);
-                    let fails: BTreeSet<NodeId> =
-                        j.fail_set.iter().copied().filter(|&f| f != self.id).collect();
+                    let fails: BTreeSet<NodeId> = j
+                        .fail_set
+                        .iter()
+                        .copied()
+                        .filter(|&f| f != self.id)
+                        .collect();
                     self.gather_reason = "join-during-commit";
                     self.enter_gather(procs, fails, actions);
                     // fall through to normal gather processing below
                 }
-                let Some(g) = self.gather.as_mut() else { return };
+                let Some(g) = self.gather.as_mut() else {
+                    return;
+                };
                 let mut changed = false;
                 if !g.proc_set.contains(&j.sender) {
                     g.proc_set.insert(j.sender);
@@ -434,8 +481,12 @@ impl TotemNode {
                 // reform, carrying their candidate information.
                 let mut procs = j.proc_set.clone();
                 procs.insert(j.sender);
-                let fails: BTreeSet<NodeId> =
-                    j.fail_set.iter().copied().filter(|&f| f != self.id).collect();
+                let fails: BTreeSet<NodeId> = j
+                    .fail_set
+                    .iter()
+                    .copied()
+                    .filter(|&f| f != self.id)
+                    .collect();
                 self.gather_reason = "join-while-settled";
                 self.enter_gather(procs, fails, actions);
                 if let Some(g) = self.gather.as_mut() {
@@ -447,7 +498,9 @@ impl TotemNode {
     }
 
     fn on_consensus_timeout(&mut self, actions: &mut Vec<Action>) {
-        let Some(g) = self.gather.as_mut() else { return };
+        let Some(g) = self.gather.as_mut() else {
+            return;
+        };
         if g.committing {
             // The commit token died; reform from scratch.
             self.gather_reason = "commit-stalled";
@@ -481,7 +534,9 @@ impl TotemNode {
     }
 
     fn check_consensus(&mut self, actions: &mut Vec<Action>) {
-        let Some(g) = self.gather.as_ref() else { return };
+        let Some(g) = self.gather.as_ref() else {
+            return;
+        };
         if g.committing {
             return;
         }
@@ -535,7 +590,10 @@ impl TotemNode {
         self.phase = Phase::Commit;
         self.forward_control(Frame::Commit(commit), actions);
         // Watchdog: if formation stalls, token-loss fires and regathers.
-        actions.push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+        actions.push(Action::SetTimer(
+            Timer::TokenLoss,
+            self.cfg.token_loss_timeout,
+        ));
         actions.push(Action::CancelTimer(Timer::JoinRebroadcast));
     }
 
@@ -593,15 +651,12 @@ impl TotemNode {
                     let mut c2 = c;
                     c2.pass = 2;
                     c2.target = c2.members[1];
-                    self.install_ring(
-                        c2.new_ring,
-                        c2.members.clone(),
-                        c2.entries.clone(),
-                        actions,
-                    );
+                    self.install_ring(c2.new_ring, c2.members.clone(), c2.entries.clone(), actions);
                     self.forward_control(Frame::Commit(c2), actions);
-                    actions
-                        .push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+                    actions.push(Action::SetTimer(
+                        Timer::TokenLoss,
+                        self.cfg.token_loss_timeout,
+                    ));
                 } else {
                     // Append our entry and forward.
                     if !matches!(self.phase, Phase::Gather | Phase::Commit) {
@@ -612,7 +667,11 @@ impl TotemNode {
                     }
                     let mut c = c;
                     c.entries.push(self.my_commit_entry());
-                    let my_pos = c.members.iter().position(|&m| m == self.id).expect("member");
+                    let my_pos = c
+                        .members
+                        .iter()
+                        .position(|&m| m == self.id)
+                        .expect("member");
                     c.target = c.members[(my_pos + 1) % c.members.len()];
                     self.phase = Phase::Commit;
                     if let Some(g) = self.gather.as_mut() {
@@ -620,8 +679,10 @@ impl TotemNode {
                     }
                     actions.push(Action::CancelTimer(Timer::JoinRebroadcast));
                     self.forward_control(Frame::Commit(c), actions);
-                    actions
-                        .push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+                    actions.push(Action::SetTimer(
+                        Timer::TokenLoss,
+                        self.cfg.token_loss_timeout,
+                    ));
                 }
             }
             2 => {
@@ -650,8 +711,10 @@ impl TotemNode {
                     };
                     self.last_token_seq = token.token_seq;
                     self.forward_control(Frame::Token(token), actions);
-                    actions
-                        .push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+                    actions.push(Action::SetTimer(
+                        Timer::TokenLoss,
+                        self.cfg.token_loss_timeout,
+                    ));
                 } else {
                     if self.ring == Some(c.new_ring) {
                         return; // duplicate pass-2 delivery; our own
@@ -661,12 +724,18 @@ impl TotemNode {
                     let members = c.members.clone();
                     let entries = c.entries.clone();
                     let mut c = c;
-                    let my_pos = c.members.iter().position(|&m| m == self.id).expect("member");
+                    let my_pos = c
+                        .members
+                        .iter()
+                        .position(|&m| m == self.id)
+                        .expect("member");
                     c.target = c.members[(my_pos + 1) % c.members.len()];
                     self.install_ring(c.new_ring, members, entries, actions);
                     self.forward_control(Frame::Commit(c), actions);
-                    actions
-                        .push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+                    actions.push(Action::SetTimer(
+                        Timer::TokenLoss,
+                        self.cfg.token_loss_timeout,
+                    ));
                 }
             }
             _ => {}
@@ -690,8 +759,16 @@ impl TotemNode {
                 .iter()
                 .filter(|e| e.old_ring == Some(old_ring))
                 .collect();
-            let high = sharers.iter().map(|e| e.high_seq).max().unwrap_or(self.my_aru);
-            let low = sharers.iter().map(|e| e.my_aru).min().unwrap_or(self.my_aru);
+            let high = sharers
+                .iter()
+                .map(|e| e.high_seq)
+                .max()
+                .unwrap_or(self.my_aru);
+            let low = sharers
+                .iter()
+                .map(|e| e.my_aru)
+                .min()
+                .unwrap_or(self.my_aru);
             // Seqs in (low, high] held by at least one sharer.
             let mut available: BTreeSet<u64> = BTreeSet::new();
             for e in &sharers {
@@ -755,7 +832,10 @@ impl TotemNode {
         self.phase = Phase::Recover;
         actions.push(Action::CancelTimer(Timer::JoinRebroadcast));
         actions.push(Action::CancelTimer(Timer::ConsensusTimeout));
-        actions.push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+        actions.push(Action::SetTimer(
+            Timer::TokenLoss,
+            self.cfg.token_loss_timeout,
+        ));
         self.try_finish_recovery(actions);
         if self.phase == Phase::Operational && self.members.len() == 1 {
             actions.push(Action::CancelTimer(Timer::TokenLoss));
@@ -889,8 +969,7 @@ impl TotemNode {
             Some(mine) => {
                 let newer = ring > mine;
                 let outsider = !self.members.contains(&evidence);
-                if (newer || outsider)
-                    && matches!(self.phase, Phase::Operational | Phase::Recover)
+                if (newer || outsider) && matches!(self.phase, Phase::Operational | Phase::Recover)
                 {
                     self.gather_reason = if newer {
                         "newer-foreign-ring"
@@ -911,7 +990,10 @@ impl TotemNode {
             return;
         }
         // Any current-ring token is evidence of life.
-        actions.push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+        actions.push(Action::SetTimer(
+            Timer::TokenLoss,
+            self.cfg.token_loss_timeout,
+        ));
         if t.target != self.id {
             self.last_token_seq = self.last_token_seq.max(t.token_seq);
             return;
@@ -933,6 +1015,7 @@ impl TotemNode {
                 served.push(s);
             }
         }
+        self.retransmits_served += served.len() as u64;
         for s in served {
             t.rtr.remove(&s);
         }
@@ -941,8 +1024,12 @@ impl TotemNode {
         let mut budget = self.cfg.max_messages_per_token;
         if self.phase == Phase::Recover {
             while budget > 0 && t.seq.saturating_sub(self.my_aru) < self.cfg.window_size {
-                let Some(rec) = self.old_recovery.as_mut() else { break };
-                let Some(&old_seq) = rec.to_rebroadcast.front() else { break };
+                let Some(rec) = self.old_recovery.as_mut() else {
+                    break;
+                };
+                let Some(&old_seq) = rec.to_rebroadcast.front() else {
+                    break;
+                };
                 let Some((orig_sender, data)) = rec.store.get(&old_seq).cloned() else {
                     // We were assigned a message we no longer hold (should
                     // not happen); drop the obligation.
@@ -1023,7 +1110,10 @@ impl TotemNode {
         if self.on_foreign_ring_frame(m.ring, m.sender, actions) {
             return;
         }
-        actions.push(Action::SetTimer(Timer::TokenLoss, self.cfg.token_loss_timeout));
+        actions.push(Action::SetTimer(
+            Timer::TokenLoss,
+            self.cfg.token_loss_timeout,
+        ));
         if self.phase != Phase::Operational && self.phase != Phase::Recover {
             return;
         }
@@ -1065,8 +1155,7 @@ impl TotemNode {
                     if self.phase == Phase::Recover {
                         if let Some(rec) = self.old_recovery.as_mut() {
                             if rec.ring == *old_ring && !rec.store.contains_key(old_seq) {
-                                rec.store
-                                    .insert(*old_seq, (*original_sender, data.clone()));
+                                rec.store.insert(*old_seq, (*original_sender, data.clone()));
                             }
                         }
                     }
@@ -1238,7 +1327,11 @@ mod tests {
         };
         let actions = a.handle_frame(Frame::Regular(bogus));
         assert!(deliveries(&actions).is_empty());
-        assert_eq!(a.phase(), Phase::Operational, "stale frame must not disturb");
+        assert_eq!(
+            a.phase(),
+            Phase::Operational,
+            "stale frame must not disturb"
+        );
     }
 
     #[test]
@@ -1363,9 +1456,9 @@ mod tests {
         };
         let actions = a.handle_frame(Frame::Token(token));
         let frames = multicasts(&actions);
-        let retransmitted = frames.iter().any(|f| {
-            matches!(f, Frame::Regular(m) if m.seq == 1 && m.payload == Payload::App(vec![42]))
-        });
+        let retransmitted = frames.iter().any(
+            |f| matches!(f, Frame::Regular(m) if m.seq == 1 && m.payload == Payload::App(vec![42])),
+        );
         assert!(retransmitted);
         // And the forwarded token's rtr is now empty.
         let fwd = frames

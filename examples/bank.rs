@@ -112,7 +112,7 @@ impl ClientApp for Teller {
 impl Teller {
     fn next_op(&mut self) -> AppInvocation {
         self.step += 1;
-        let (op, amount) = if self.step % 3 == 0 {
+        let (op, amount) = if self.step.is_multiple_of(3) {
             ("withdraw", 500i64)
         } else {
             ("deposit", 1000i64)
@@ -175,6 +175,9 @@ fn main() {
         end.replies_delivered,
     );
     assert_eq!(end.promotions, 1, "backup took over");
-    assert!(end.replies_delivered > mid.replies_delivered, "service resumed");
+    assert!(
+        end.replies_delivered > mid.replies_delivered,
+        "service resumed"
+    );
     println!("fail-over complete: the teller kept banking ✓");
 }

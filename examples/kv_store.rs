@@ -133,7 +133,10 @@ fn main() {
         "after crash: promotions={}, replies={}, every read verified its own write",
         end.promotions, end.replies_delivered
     );
-    assert_eq!(end.promotions, 1, "warm backup took over from its local log");
+    assert_eq!(
+        end.promotions, 1,
+        "warm backup took over from its local log"
+    );
     assert!(end.replies_delivered > mid.replies_delivered);
     println!("read-your-writes held across the fail-over ✓");
 }

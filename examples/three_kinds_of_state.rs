@@ -30,11 +30,9 @@ fn run(transfer_orb_state: bool, recover_client: bool) -> (u64, u64, u64) {
     let server = cluster.deploy_server("counter", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     });
-    let client = cluster.deploy_client(
-        "driver",
-        FaultToleranceProperties::active(2),
-        move |_| Box::new(StreamingClient::new(server, "increment", 2)),
-    );
+    let client = cluster.deploy_client("driver", FaultToleranceProperties::active(2), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 2))
+    });
     cluster.run_until_deployed();
     cluster.run_for(Duration::from_millis(50));
 

@@ -53,8 +53,10 @@ fn killing_the_same_replica_twice_is_harmless() {
 
 #[test]
 fn auto_recovery_can_be_disabled() {
-    let mut config = ClusterConfig::default();
-    config.auto_recover = false;
+    let config = ClusterConfig {
+        auto_recover: false,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 62);
     let server = c.deploy_server("s", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
@@ -79,8 +81,10 @@ fn auto_recovery_can_be_disabled() {
 
 #[test]
 fn launch_on_a_crashed_processor_is_dropped() {
-    let mut config = ClusterConfig::default();
-    config.auto_recover = false;
+    let config = ClusterConfig {
+        auto_recover: false,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 63);
     let server = c.deploy_server("s", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
@@ -110,12 +114,16 @@ fn multiple_groups_share_the_infrastructure() {
     let mut c = Cluster::new(ClusterConfig::default(), 64);
     let mut servers = Vec::new();
     for i in 0..3 {
-        let s = c.deploy_server(&format!("s{i}"), FaultToleranceProperties::active(2), || {
-            Box::new(CounterServant::default())
-        });
-        c.deploy_client(&format!("d{i}"), FaultToleranceProperties::active(1), move |_| {
-            Box::new(StreamingClient::new(s, "increment", 2))
-        });
+        let s = c.deploy_server(
+            &format!("s{i}"),
+            FaultToleranceProperties::active(2),
+            || Box::new(CounterServant::default()),
+        );
+        c.deploy_client(
+            &format!("d{i}"),
+            FaultToleranceProperties::active(1),
+            move |_| Box::new(StreamingClient::new(s, "increment", 2)),
+        );
         servers.push(s);
     }
     c.run_until_deployed();
@@ -137,8 +145,10 @@ fn multiple_groups_share_the_infrastructure() {
 #[test]
 #[should_panic(expected = "cannot place")]
 fn too_many_replicas_for_the_system_is_rejected() {
-    let mut config = ClusterConfig::default();
-    config.processors = 2;
+    let config = ClusterConfig {
+        processors: 2,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 65);
     c.deploy_server("s", FaultToleranceProperties::active(3), || {
         Box::new(CounterServant::default())

@@ -172,17 +172,21 @@ fn operation_sustains_in_both_partition_components() {
     // partitioned system, should a partition occur". Deploy one active
     // server + client pair fully contained in each half, partition the
     // network, and verify both halves keep serving independently.
-    let mut config = ClusterConfig::default();
-    config.processors = 4;
+    let config = ClusterConfig {
+        processors: 4,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 32);
     // plan_hosts is round-robin: pin groups to halves by deploying in an
     // order that lands them correctly, then verify the placement.
     let left_server = c.deploy_server("left", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     }); // hosts [0, 1]
-    c.deploy_client("left-driver", FaultToleranceProperties::active(1), move |_| {
-        Box::new(StreamingClient::new(left_server, "increment", 2))
-    }); // host [1]
+    c.deploy_client(
+        "left-driver",
+        FaultToleranceProperties::active(1),
+        move |_| Box::new(StreamingClient::new(left_server, "increment", 2)),
+    ); // host [1]
     let right_server = c.deploy_server("right", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     }); // hosts [2, 3]

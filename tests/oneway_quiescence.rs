@@ -81,7 +81,10 @@ fn oneways_flow_without_replies_and_survive_recovery() {
     let m = c.metrics();
     // Roughly half the dispatched requests are oneways; replies exist
     // only for the puts.
-    assert!(m.requests_dispatched > m.replies_delivered * 2 / 2, "oneways dispatched");
+    assert!(
+        m.requests_dispatched > m.replies_delivered * 2 / 2,
+        "oneways dispatched"
+    );
     assert!(m.replies_delivered > 50);
 
     // Recovery with oneway traffic in flight.

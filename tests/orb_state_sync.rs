@@ -21,11 +21,9 @@ fn scenario(transfer_orb: bool, transfer_infra: bool, recover_client: bool, seed
     let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     });
-    let client = c.deploy_client(
-        "driver",
-        FaultToleranceProperties::active(2),
-        move |_| Box::new(StreamingClient::new(server, "increment", 2)),
-    );
+    let client = c.deploy_client("driver", FaultToleranceProperties::active(2), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 2))
+    });
     c.run_until_deployed();
     c.run_for(Duration::from_millis(50));
     let group = if recover_client { client } else { server };
@@ -99,7 +97,9 @@ fn observer_reconstruction_matches_orb_ground_truth() {
     };
     let key = ObjectKey::from("obj");
     for _ in 0..37 {
-        let (_, bytes) = client.build_request(&key, "op", &[], true).expect("encodes");
+        let (_, bytes) = client
+            .build_request(&key, "op", &[], true)
+            .expect("encodes");
         observer.observe_request(conn, &bytes);
     }
     let truth = client.orb_level_state();

@@ -13,8 +13,10 @@ fn recovery_drops_pre_sync_and_enqueues_post_sync_traffic() {
     // messages arriving before its get_state sync point (dropped — the
     // transferred state contains their effects) and messages arriving
     // between sync point and set_state (enqueued, delivered afterwards).
-    let mut config = ClusterConfig::default();
-    config.trace = false;
+    let config = ClusterConfig {
+        trace: false,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 50);
     let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
         Box::new(BlobServant::with_size(300_000))
@@ -83,8 +85,10 @@ fn full_stack_survives_a_lossy_network() {
 fn no_checkpoint_traffic_for_active_groups_until_recovery() {
     // §3.3: "For active replication, there is no need to log any
     // checkpoints or messages until a replica is being recovered."
-    let mut config = ClusterConfig::default();
-    config.trace = false;
+    let config = ClusterConfig {
+        trace: false,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 52);
     let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
         Box::new(BlobServant::with_size(1_000))
@@ -109,8 +113,10 @@ fn passive_groups_log_continuously_but_transfer_rarely() {
     // The flip side of the §6 trade-off: warm passive logs constantly
     // (checkpoints + suffixes) but performs no §5.1 transfers while the
     // primary is healthy.
-    let mut config = ClusterConfig::default();
-    config.trace = false;
+    let config = ClusterConfig {
+        trace: false,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, 53);
     let server = c.deploy_server(
         "blob",

@@ -8,6 +8,7 @@ use eternal::gid::GroupId;
 use eternal::properties::FaultToleranceProperties;
 use eternal_cdr::{Any, Value};
 use eternal_giop::ReplyStatus;
+use eternal_obs::{EventKind, RecoveryPhase};
 use eternal_sim::Duration;
 
 fn cluster(seed: u64) -> Cluster {
@@ -129,6 +130,66 @@ fn recovery_is_concurrent_with_normal_operation() {
 }
 
 #[test]
+fn recovery_phases_run_in_protocol_order() {
+    // §5.1 orders the protocol strictly: the donor quiesces *before*
+    // get_state runs, and set_state closes before the recovered replica
+    // dispatches any normal invocation.
+    let mut c = cluster(18);
+    let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
+        Box::new(BlobServant::with_size(30_000))
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(50));
+
+    let hosts_before = c.hosting(server);
+    c.kill_replica(server, hosts_before[0]);
+    c.run_for(Duration::from_secs(3));
+    assert_eq!(c.metrics().recoveries_completed, 1);
+
+    // Quiesce completes before get_state begins, which completes before
+    // the transfer — read off the cluster's phase spans.
+    let spans = c.trace().spans();
+    let phase = |p: RecoveryPhase| {
+        spans
+            .iter()
+            .find(|s| s.kind == EventKind::Phase(p))
+            .unwrap_or_else(|| panic!("{p:?} span emitted"))
+    };
+    assert!(phase(RecoveryPhase::Quiesce).end <= phase(RecoveryPhase::GetState).begin);
+    assert!(phase(RecoveryPhase::GetState).end <= phase(RecoveryPhase::Transfer).begin);
+    assert!(phase(RecoveryPhase::Transfer).end <= phase(RecoveryPhase::SetState).begin);
+    assert!(phase(RecoveryPhase::SetState).end <= phase(RecoveryPhase::Replay).begin);
+
+    // At the recovered replica's own ORB: the fabricated set_state is
+    // dispatched before the first normal invocation after its launch.
+    let replacement = c
+        .hosting(server)
+        .into_iter()
+        .find(|n| !hosts_before.contains(n) || *n == hosts_before[0])
+        .expect("replacement instantiated");
+    let launched_at = c.recovery_timelines()[0].launched_at;
+    let orb_trace = c.mechanisms(replacement).orb().obs_trace();
+    let events: Vec<_> = orb_trace.events().collect();
+    let set_state_idx = events
+        .iter()
+        .position(|e| e.kind == EventKind::OrbControlDispatch && e.detail.contains("set_state"))
+        .expect("set_state dispatched through the ORB control path");
+    let first_dispatch_idx = events
+        .iter()
+        .position(|e| e.kind == EventKind::OrbRequestDispatched && e.at >= launched_at)
+        .expect("recovered replica dispatches normal traffic");
+    assert!(
+        set_state_idx < first_dispatch_idx,
+        "set_state (event {set_state_idx}) must close before the first \
+         normal dispatch (event {first_dispatch_idx})"
+    );
+    assert!(events[set_state_idx].at >= launched_at);
+}
+
+#[test]
 fn warm_passive_failover_replays_suffix() {
     let mut c = cluster(12);
     let server = c.deploy_server(
@@ -216,11 +277,9 @@ fn client_replica_recovery_resumes_streaming() {
     let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     });
-    let client = c.deploy_client(
-        "driver",
-        FaultToleranceProperties::active(2),
-        move |_| Box::new(StreamingClient::new(server, "increment", 3)),
-    );
+    let client = c.deploy_client("driver", FaultToleranceProperties::active(2), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 3))
+    });
     c.run_until_deployed();
     c.run_for(Duration::from_millis(60));
 
