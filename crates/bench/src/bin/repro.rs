@@ -9,7 +9,18 @@
 //! Experiments: `fig6`, `timeline`, `overhead`, `styles`,
 //! `checkpoint-sweep`, `frag-threshold`, `replicas`, `ablation-reqid`,
 //! `ablation-handshake`.
+//!
+//! In addition, `chaos` runs a deterministic fault-injection campaign
+//! (not part of the default everything-run; see `docs/CHAOS.md`):
+//!
+//! ```sh
+//! cargo run --release -p eternal-bench --bin repro -- chaos --seed 7 --steps 12
+//! ```
+//!
+//! It prints the campaign summary and exits nonzero if any invariant
+//! was violated, so CI can gate on it.
 
+use eternal::chaos::{run_campaign, CampaignConfig};
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
     ablation_run, checkpoint_sweep_point, fig6_point, fig6_timeline, frag_threshold,
@@ -20,6 +31,9 @@ use eternal_sim::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "chaos") {
+        std::process::exit(chaos(&args[1..]));
+    }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -50,6 +64,39 @@ fn main() {
     if want("ablation-handshake") {
         ablation_handshake();
     }
+}
+
+/// `repro -- chaos [--seed N] [--steps M]`: one seeded campaign; the
+/// same seed always reproduces the same summary byte for byte.
+fn chaos(args: &[String]) -> i32 {
+    let mut cfg = CampaignConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let parse = |v: Option<&String>, what: &str| -> Option<u64> {
+            let parsed = v.and_then(|s| s.parse().ok());
+            if parsed.is_none() {
+                eprintln!("chaos: {flag} needs a numeric {what}");
+            }
+            parsed
+        };
+        match flag.as_str() {
+            "--seed" => match parse(it.next(), "seed") {
+                Some(s) => cfg.seed = s,
+                None => return 2,
+            },
+            "--steps" => match parse(it.next(), "step count") {
+                Some(s) => cfg.steps = s as usize,
+                None => return 2,
+            },
+            other => {
+                eprintln!("chaos: unknown flag {other} (expected --seed N / --steps M)");
+                return 2;
+            }
+        }
+    }
+    let summary = run_campaign(&cfg);
+    println!("{summary}");
+    i32::from(!summary.passed())
 }
 
 fn fig6() {

@@ -58,6 +58,14 @@ pub trait ClientApp: Send {
         body: &[u8],
     ) -> Vec<AppInvocation>;
 
+    /// Called when the infrastructure injects a load tick (the chaos
+    /// campaign driver uses this to re-burst traffic between fault
+    /// steps). Like every callback it must be deterministic; the
+    /// default issues nothing.
+    fn on_tick(&mut self) -> Vec<AppInvocation> {
+        Vec::new()
+    }
+
     /// Application-level state (paper §4.1).
     fn get_state(&self) -> Any;
 
@@ -401,9 +409,100 @@ impl ClientApp for StreamingClient {
     }
 }
 
+/// A client that issues a fixed burst of two-way invocations per load
+/// tick and then falls silent until the next tick — the workload shape
+/// the chaos campaigns need: traffic that *drains*, so the cluster
+/// reaches a quiescent point where convergence can be checked, then
+/// restarts on demand.
+#[derive(Debug)]
+pub struct BurstClient {
+    server: GroupId,
+    operation: String,
+    per_burst: u64,
+    sent: u64,
+    received: u64,
+}
+
+impl BurstClient {
+    /// Issues `per_burst` invocations of `operation` at `server` on
+    /// start and on every tick.
+    pub fn new(server: GroupId, operation: &str, per_burst: u64) -> Self {
+        BurstClient {
+            server,
+            operation: operation.to_owned(),
+            per_burst,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    fn burst(&mut self) -> Vec<AppInvocation> {
+        (0..self.per_burst)
+            .map(|_| {
+                self.sent += 1;
+                AppInvocation::two_way(self.server, &self.operation)
+            })
+            .collect()
+    }
+}
+
+impl ClientApp for BurstClient {
+    fn on_start(&mut self) -> Vec<AppInvocation> {
+        self.burst()
+    }
+
+    fn on_reply(
+        &mut self,
+        _server: GroupId,
+        _operation: &str,
+        _status: ReplyStatus,
+        _body: &[u8],
+    ) -> Vec<AppInvocation> {
+        self.received += 1;
+        Vec::new()
+    }
+
+    fn on_tick(&mut self) -> Vec<AppInvocation> {
+        self.burst()
+    }
+
+    fn get_state(&self) -> Any {
+        Any::from(Value::Struct(vec![
+            Value::ULongLong(self.sent),
+            Value::ULongLong(self.received),
+        ]))
+    }
+
+    fn set_state(&mut self, state: &Any) {
+        if let Value::Struct(m) = &state.value {
+            if let [Value::ULongLong(sent), Value::ULongLong(received)] = m.as_slice() {
+                self.sent = *sent;
+                self.received = *received;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn burst_client_drains_between_ticks() {
+        let mut c = BurstClient::new(GroupId(2), "increment", 3);
+        assert_eq!(c.on_start().len(), 3);
+        // Replies produce no follow-ups: the burst drains.
+        assert!(c
+            .on_reply(GroupId(2), "increment", ReplyStatus::NoException, &[])
+            .is_empty());
+        assert_eq!(c.on_tick().len(), 3);
+        assert_eq!((c.sent, c.received), (6, 1));
+        // State round-trips for recovery.
+        let snap = c.get_state();
+        let mut d = BurstClient::new(GroupId(2), "increment", 3);
+        d.set_state(&snap);
+        assert_eq!((d.sent, d.received), (6, 1));
+    }
 
     #[test]
     fn counter_round_trip() {

@@ -97,6 +97,8 @@ struct GroupInfo {
     make_kind: Arc<dyn Fn() -> GroupKind + Send + Sync>,
     /// Cluster-side view of which processors currently hold an instance.
     hosting: BTreeSet<NodeId>,
+    /// Whether this is a client (driver) group — load ticks target these.
+    is_client: bool,
 }
 
 impl std::fmt::Debug for GroupInfo {
@@ -155,7 +157,10 @@ pub struct Cluster {
     /// Last time the rotating token arrived at each live processor, for
     /// the token-rotation-time histogram.
     last_token_at: HashMap<NodeId, SimTime>,
-    episodes: HashMap<TransferId, EpisodeObs>,
+    episodes: BTreeMap<TransferId, EpisodeObs>,
+    /// Restart count per processor, stamped into rebuilt mechanisms so
+    /// their fabricated transfer ids never repeat a pre-crash id.
+    incarnations: BTreeMap<NodeId, u32>,
     timelines: Vec<RecoveryTimeline>,
     repl_mgr: ReplicationManager,
     res_mgr: ResourceManager,
@@ -196,7 +201,8 @@ impl Cluster {
             },
             registry: MetricsRegistry::new(),
             last_token_at: HashMap::new(),
-            episodes: HashMap::new(),
+            episodes: BTreeMap::new(),
+            incarnations: BTreeMap::new(),
             timelines: Vec::new(),
             clients_started: false,
             config,
@@ -232,6 +238,23 @@ impl Cluster {
         &self.trace
     }
 
+    /// Records an event in the cluster trace on behalf of an external
+    /// driver (the chaos campaign runner injects faults from outside).
+    pub fn record_event(&mut self, source: &str, kind: EventKind, detail: String) {
+        let now = self.now();
+        self.trace.record(now, source.to_string(), kind, detail);
+    }
+
+    /// Adds to a named counter in the cluster-level metrics registry.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        self.registry.counter_add(name, n);
+    }
+
+    /// Records a duration sample in a cluster-level histogram.
+    pub fn histogram_record(&mut self, name: &str, d: Duration) {
+        self.registry.histogram_record(name, d);
+    }
+
     /// The network model, read-only (for counters).
     pub fn net(&self) -> &NetworkModel {
         &self.net
@@ -245,6 +268,83 @@ impl Cluster {
     /// The mechanisms of one processor (inspection in tests).
     pub fn mechanisms(&self, node: NodeId) -> &Mechanisms {
         &self.mechs[&node]
+    }
+
+    /// Delivers a load tick to every client group's replicas (see
+    /// [`crate::app::ClientApp::on_tick`]): the chaos campaigns
+    /// re-burst traffic this way between fault steps.
+    ///
+    /// The tick is a state-changing input (it advances the client
+    /// application's issue counters), so — per the paper's §2 replica
+    /// determinism requirement — it travels through the totally-ordered
+    /// multicast as [`EternalMessage::LoadTick`] rather than being
+    /// applied locally. Every sibling then ticks at the *same* point in
+    /// the total order: a replica recovering mid-transfer drops
+    /// pre-sync ticks (their effect is in the transferred state) and
+    /// holds post-retrieval ticks for replay after `set_state`, so
+    /// donor and recovered replica stay byte-identical. Siblings' ticks
+    /// issue identical invocations; duplicates are suppressed
+    /// downstream exactly as at deployment time.
+    pub fn kick_clients(&mut self) {
+        let now = self.now();
+        let Some(src) = self.mechs.keys().copied().find(|&node| self.is_alive(node)) else {
+            return;
+        };
+        let client_groups: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, info)| info.is_client)
+            .map(|(&id, _)| id)
+            .collect();
+        for group in client_groups {
+            self.do_multicast(src, EternalMessage::LoadTick { group }, now);
+        }
+    }
+
+    /// The application-level state bytes of the replica of `group` on
+    /// `node`, as a state transfer would capture them. `None` for dead
+    /// processors and non-operational replicas. The convergence
+    /// invariant requires all live operational replicas of a group to
+    /// return byte-identical values at a quiescent point.
+    pub fn probe_application_state(&mut self, node: NodeId, group: GroupId) -> Option<Vec<u8>> {
+        if !self.is_alive(node) {
+            return None;
+        }
+        self.mechs.get_mut(&node)?.probe_application_state(group)
+    }
+
+    /// Whether any recovery machinery is in flight: scheduled or
+    /// pending replica launches, or open state-transfer episodes.
+    pub fn recovery_in_flight(&self) -> bool {
+        !self.pending_launch.is_empty()
+            || !self.launch_inflight.is_empty()
+            || !self.episodes.is_empty()
+    }
+
+    /// Scheduled or in-progress replica launches as (group, new host)
+    /// pairs, deterministically ordered. The chaos campaigns use this to
+    /// find — and crash — the recovering host mid-transfer.
+    pub fn pending_launches(&self) -> Vec<(GroupId, NodeId)> {
+        let mut v: Vec<(GroupId, NodeId)> = self.pending_launch.keys().copied().collect();
+        v.extend(self.episodes.values().map(|ep| (ep.group, ep.new_host)));
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Invocations issued and still awaiting replies, summed over live
+    /// processors. Zero once client traffic has drained.
+    pub fn outstanding_calls(&self) -> usize {
+        self.mechs
+            .iter()
+            .filter(|&(&n, _)| self.is_alive(n))
+            .map(|(_, m)| m.outstanding_total())
+            .sum()
+    }
+
+    /// Partially reassembled Eternal messages held at `node`.
+    pub fn reassembly_pending(&self, node: NodeId) -> usize {
+        self.reasm.get(&node).map(|r| r.pending()).unwrap_or(0)
     }
 
     /// The Totem engine status of one processor: protocol phase,
@@ -330,6 +430,7 @@ impl Cluster {
                 let f = Arc::clone(&factory);
                 GroupKind::Server(Box::new(move || f()))
             }),
+            false,
         )
     }
 
@@ -351,6 +452,7 @@ impl Cluster {
                 let f = Arc::clone(&factory);
                 GroupKind::Client(Box::new(move |g| f(g)))
             }),
+            true,
         )
     }
 
@@ -359,6 +461,7 @@ impl Cluster {
         name: &str,
         props: FaultToleranceProperties,
         make_kind: Arc<dyn Fn() -> GroupKind + Send + Sync>,
+        is_client: bool,
     ) -> GroupId {
         props.validate();
         let id = GroupId(self.next_group);
@@ -401,6 +504,7 @@ impl Cluster {
                 hosts,
                 make_kind,
                 hosting,
+                is_client,
             },
         );
         id
@@ -657,6 +761,10 @@ impl Cluster {
             .expect("known group")
             .hosting
             .remove(&node);
+        // If the victim was itself mid-recovery, that episode can never
+        // complete; abort it so the launch guard doesn't wedge the
+        // resource manager's next replacement.
+        self.abort_recovery_at(node, Some(group));
         let outs = self
             .mechs
             .get_mut(&node)
@@ -698,6 +806,10 @@ impl Cluster {
         for info in self.groups.values_mut() {
             info.hosting.remove(&node);
         }
+        // Recovery aimed at the crashed processor (it was the recovering
+        // host of a launch or an open state transfer) can never finish;
+        // abort those episodes so the launch guards release.
+        self.abort_recovery_at(node, None);
         let now = self.now();
         self.last_token_at.remove(&node);
         self.trace.record(
@@ -706,6 +818,36 @@ impl Cluster {
             EventKind::ProcessorCrashed,
             "",
         );
+    }
+
+    /// Drops recovery machinery whose recovering replica lived on `node`
+    /// (scoped to one group when `only` is set): pending launches, open
+    /// state-transfer episodes, and the per-group launch guards. Without
+    /// this, killing the new host mid-transfer would leave its group's
+    /// guard set forever and the resource manager could never launch a
+    /// fresh replacement.
+    fn abort_recovery_at(&mut self, node: NodeId, only: Option<GroupId>) {
+        let launches: Vec<(GroupId, NodeId)> = self
+            .pending_launch
+            .keys()
+            .copied()
+            .filter(|&(g, n)| n == node && only.is_none_or(|og| og == g))
+            .collect();
+        for key in launches {
+            self.pending_launch.remove(&key);
+            self.launch_inflight.remove(&key.0);
+        }
+        let stale: Vec<TransferId> = self
+            .episodes
+            .iter()
+            .filter(|(_, ep)| ep.new_host == node && only.is_none_or(|og| og == ep.group))
+            .map(|(&t, _)| t)
+            .collect();
+        for t in stale {
+            if let Some(ep) = self.episodes.remove(&t) {
+                self.launch_inflight.remove(&ep.group);
+            }
+        }
     }
 
     /// Restarts a crashed processor with empty volatile state; its
@@ -719,6 +861,9 @@ impl Cluster {
         let actions = totem.start();
         self.totem.insert(node, totem);
         let mut mech = Mechanisms::new(node, self.config.mech.clone());
+        let incarnation = self.incarnations.entry(node).or_insert(0);
+        *incarnation += 1;
+        mech.set_incarnation(*incarnation);
         for (&id, info) in &self.groups {
             mech.register_group(GroupMeta {
                 id,
@@ -738,6 +883,25 @@ impl Cluster {
             "",
         );
         self.apply_totem_actions(node, actions);
+        // The replicas of the previous incarnation died with its
+        // process, but a fast restart can rejoin the ring before
+        // token-loss detection ever excluded the node — the survivors'
+        // membership-change fault path then never fires, and they would
+        // keep the dead replicas in their operational views forever
+        // (even electing the empty node as a state donor, wedging every
+        // later recovery of those groups). The rejoined fault detector
+        // therefore announces the deaths itself, once per group, at a
+        // total-order point; pruning a host that was never operational
+        // is a no-op, and the resource manager restores replica counts
+        // idempotently.
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in groups {
+            self.do_multicast(
+                node,
+                EternalMessage::ReplicaFault { group, host: node },
+                now,
+            );
+        }
     }
 
     // ================================================================
@@ -918,6 +1082,16 @@ impl Cluster {
                     EventKind::ConfigChange,
                     format!("{members:?}"),
                 );
+                // Departed processors will never complete their partial
+                // messages, and may rewind their msg_id counters on
+                // restart; evict their reassembly state (mirroring the
+                // GIOP reassembler's per-connection reset).
+                let reasm = self.reasm.get_mut(&node).expect("known");
+                for origin in self.net.nodes().to_vec() {
+                    if !members.contains(&origin) {
+                        reasm.forget_origin(origin);
+                    }
+                }
                 // Cluster-side resource management reacts once, at the
                 // lowest live member.
                 if members.first() == Some(&node) {
@@ -994,6 +1168,19 @@ impl Cluster {
             return;
         }
         let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+        // Only hosts that are actually down leave the hosting map. A
+        // processor absent from this membership may merely be on the
+        // other side of a partition, still running its replicas; during
+        // a split both components react to their own configuration
+        // change against this shared map, and treating the other side
+        // as dead would empty every group's hosting and permanently
+        // disable auto-recovery after the heal.
+        let down: BTreeSet<NodeId> = self
+            .alive
+            .iter()
+            .filter(|&(_, &up)| !up)
+            .map(|(&n, _)| n)
+            .collect();
         let groups: Vec<GroupId> = self.groups.keys().copied().collect();
         for group in groups {
             let info = self.groups.get_mut(&group).expect("listed");
@@ -1001,7 +1188,7 @@ impl Cluster {
                 .hosting
                 .iter()
                 .copied()
-                .filter(|h| !member_set.contains(h))
+                .filter(|h| !member_set.contains(h) && down.contains(h))
                 .collect();
             for d in &dead {
                 info.hosting.remove(d);
@@ -1074,6 +1261,15 @@ impl Cluster {
                     // captures; the earliest sender defines the episode.
                     // (Donors may see the retrieval before the new host
                     // does, so create the episode here if needed.)
+                    //
+                    // Donor captures can also arrive *after* the launch
+                    // was aborted (the recovering host crashed while the
+                    // retrieval was still in flight). Resurrecting the
+                    // episode then would leave a transfer open forever,
+                    // so only track launches that are still pending.
+                    if !self.pending_launch.contains_key(&(group, new_host)) {
+                        continue;
+                    }
                     let cb = now + quiesce_wait;
                     let snd = cb + capture_time;
                     let ep = self.episodes.entry(transfer).or_insert(EpisodeObs {
@@ -1144,7 +1340,7 @@ impl Cluster {
                 group,
                 transfer,
                 purpose: RetrievalPurpose::Recovery { new_host },
-            } if node == *new_host => {
+            } if node == *new_host && self.pending_launch.contains_key(&(*group, *new_host)) => {
                 self.episodes.entry(*transfer).or_insert(EpisodeObs {
                     group: *group,
                     new_host: *new_host,
@@ -1179,13 +1375,29 @@ impl Cluster {
         operational_at: SimTime,
         app_state_bytes: usize,
     ) {
-        let key = self
+        // Drain every open episode for this (group, node): a retry after
+        // an aborted transfer can leave an earlier transfer-id behind,
+        // and leaving it open would read as recovery-in-flight forever.
+        // The completed attempt is the one whose assignment reached the
+        // new host (latest such entry wins).
+        let keys: Vec<TransferId> = self
             .episodes
             .iter()
-            .find(|(_, ep)| ep.group == group && ep.new_host == node)
-            .map(|(&k, _)| k);
-        let ep = match key {
-            Some(k) => self.episodes.remove(&k).expect("just found"),
+            .filter(|(_, ep)| ep.group == group && ep.new_host == node)
+            .map(|(&k, _)| k)
+            .collect();
+        let best = keys
+            .iter()
+            .copied()
+            .max_by_key(|k| (self.episodes[k].assignment_at.is_some(), *k));
+        let ep = match best {
+            Some(k) => {
+                let ep = self.episodes.remove(&k).expect("just found");
+                for stale in keys {
+                    self.episodes.remove(&stale);
+                }
+                ep
+            }
             None => return,
         };
         let clamp = |t: SimTime, lo: SimTime| t.max(lo).min(operational_at);

@@ -159,11 +159,20 @@ struct HeldIiop {
     bytes: Vec<u8>,
 }
 
+/// One totally ordered input a recovering replica may have to hold and
+/// replay after its `set_state` (§5.1 step vi): intercepted IIOP
+/// traffic, or a load tick for a client replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum HeldInput {
+    Iiop(HeldIiop),
+    LoadTick,
+}
+
 struct LocalReplica {
     phase: ReplicaPhase,
     /// Client behaviour instance (servers live in the ORB's POA).
     client_app: Option<Box<dyn ClientApp>>,
-    holding: HoldingQueue<HeldIiop>,
+    holding: HoldingQueue<HeldInput>,
     /// Quiescence bookkeeping (paper §5): oneway settling windows.
     quiesce: QuiescenceTracker,
 }
@@ -282,6 +291,13 @@ pub struct Mechanisms {
     /// garbage collection (their effects are not in the captured state).
     checkpoint_marks: HashMap<(GroupId, TransferId), u64>,
     next_transfer_seq: u64,
+    /// Restart count of this processor, stamped into every fabricated
+    /// [`TransferId`]. A mechanism instance rebuilt after a crash starts
+    /// its sequence counter at zero again; without the incarnation,
+    /// re-fabricated ids would collide with pre-crash ones still in
+    /// survivors' `seen_transfers` tables, and those survivors would
+    /// silently discard the new transfer's `set_state` as a duplicate.
+    incarnation: u64,
     counters: MechCounters,
 }
 
@@ -314,6 +330,7 @@ impl Mechanisms {
             seen_transfers: HashSet::new(),
             checkpoint_marks: HashMap::new(),
             next_transfer_seq: 0,
+            incarnation: 0,
             counters: MechCounters::default(),
         }
     }
@@ -321,6 +338,27 @@ impl Mechanisms {
     /// The processor this instance runs on.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Sets the restart incarnation (the hosting environment calls this
+    /// when rebuilding the mechanisms after a processor restart, before
+    /// any traffic). See the `incarnation` field for why fabricated
+    /// transfer ids must not repeat across restarts.
+    pub fn set_incarnation(&mut self, incarnation: u32) {
+        self.incarnation = u64::from(incarnation);
+    }
+
+    /// A cluster-unique transfer id: processor in the top 16 bits, the
+    /// processor's restart incarnation in the next 16, then a local
+    /// sequence number.
+    fn fresh_transfer_id(&mut self) -> TransferId {
+        let id = TransferId(
+            ((u64::from(self.node.0) & 0xffff) << 48)
+                | ((self.incarnation & 0xffff) << 32)
+                | (self.next_transfer_seq & 0xffff_ffff),
+        );
+        self.next_transfer_seq += 1;
+        id
     }
 
     /// Local counters.
@@ -499,6 +537,90 @@ impl Mechanisms {
         outs
     }
 
+    /// Runs `on_tick` of the locally hosted client replica of `group`
+    /// (if operational) and issues the resulting invocations.
+    fn tick_replica(&mut self, group: GroupId) -> Vec<Out> {
+        let Some(lg) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        let Some(replica) = lg.replica.as_mut() else {
+            return Vec::new();
+        };
+        if replica.phase != ReplicaPhase::Operational {
+            return Vec::new();
+        }
+        let Some(app) = replica.client_app.as_mut() else {
+            return Vec::new();
+        };
+        let invocations = app.on_tick();
+        self.issue_invocations(group, invocations)
+    }
+
+    /// A totally ordered [`EternalMessage::LoadTick`]: ticks the local
+    /// replica subject to the same phase discipline as normal traffic —
+    /// operational replicas run it now, a pre-sync-point replica drops
+    /// it (the donor ran it before the capture, so its effects arrive
+    /// inside the transferred state), and an enqueueing replica holds
+    /// it for replay after `set_state`.
+    fn on_load_tick(&mut self, group: GroupId) -> Vec<Out> {
+        let Some(lg) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        match lg.replica.as_mut() {
+            None => Vec::new(),
+            Some(replica) => match replica.phase {
+                ReplicaPhase::Operational => self.tick_replica(group),
+                ReplicaPhase::Standby => Vec::new(),
+                ReplicaPhase::AwaitingSync => {
+                    self.counters.dropped_pre_sync += 1;
+                    Vec::new()
+                }
+                ReplicaPhase::Enqueueing => {
+                    replica.holding.hold(HeldInput::LoadTick);
+                    self.counters.enqueued_during_recovery += 1;
+                    Vec::new()
+                }
+            },
+        }
+    }
+
+    /// The application-level state bytes of the locally hosted replica
+    /// of `group`, exactly as a state transfer would capture them —
+    /// the convergence invariant compares these across replicas.
+    /// `None` when no replica is hosted here or it is not operational.
+    pub fn probe_application_state(&mut self, group: GroupId) -> Option<Vec<u8>> {
+        if self.replica_phase(group) != Some(ReplicaPhase::Operational) {
+            return None;
+        }
+        let is_server = matches!(self.groups.get(&group)?.meta.kind, GroupKind::Server(_));
+        if is_server {
+            self.orb
+                .dispatch_control(&Self::group_key(group), "get_state", &[])
+                .ok()
+        } else {
+            let lg = self.groups.get_mut(&group)?;
+            let app = lg.replica.as_mut()?.client_app.as_mut()?;
+            app.get_state().to_bytes().ok()
+        }
+    }
+
+    /// Invocations issued locally that still await replies, across all
+    /// hosted client groups. Zero at a true quiescent point.
+    pub fn outstanding_total(&self) -> usize {
+        self.groups.values().map(|lg| lg.outstanding.len()).sum()
+    }
+
+    /// Sparse dedup ids resident above the horizons (bounded by the
+    /// suppressor's window; the chaos memory invariant watches it).
+    pub fn dedup_resident(&self) -> usize {
+        self.dedup.resident()
+    }
+
+    /// Ids the dedup horizon was forced past to stay bounded.
+    pub fn dedup_gaps_skipped(&self) -> u64 {
+        self.dedup.gaps_skipped()
+    }
+
     // ================================================================
     // Outgoing path: client invocations through the ORB + interceptor
     // ================================================================
@@ -583,6 +705,7 @@ impl Mechanisms {
                 purpose,
                 state,
             } => self.on_assignment(transfer, purpose, state, now),
+            EternalMessage::LoadTick { group } => self.on_load_tick(group),
         }
     }
 
@@ -650,7 +773,7 @@ impl Mechanisms {
                         None
                     }
                     ReplicaPhase::Enqueueing => {
-                        replica.holding.hold(held);
+                        replica.holding.hold(HeldInput::Iiop(held));
                         self.counters.enqueued_during_recovery += 1;
                         None
                     }
@@ -825,8 +948,7 @@ impl Mechanisms {
         if issuer != Some(self.node) {
             return Vec::new();
         }
-        let transfer = TransferId(((self.node.0 as u64) << 32) | self.next_transfer_seq);
-        self.next_transfer_seq += 1;
+        let transfer = self.fresh_transfer_id();
         vec![Out::Multicast {
             delay: Duration::ZERO,
             message: EternalMessage::StateRetrieval {
@@ -847,8 +969,7 @@ impl Mechanisms {
         if !lg.meta.props.style.logs_checkpoints() || lg.primary_host() != Some(self.node) {
             return Vec::new();
         }
-        let transfer = TransferId(((self.node.0 as u64) << 32) | self.next_transfer_seq);
-        self.next_transfer_seq += 1;
+        let transfer = self.fresh_transfer_id();
         vec![Out::Multicast {
             delay: Duration::ZERO,
             message: EternalMessage::StateRetrieval {
@@ -1105,6 +1226,17 @@ impl Mechanisms {
             }
         };
 
+        // The phase flips before the drain: held inputs are delivered
+        // to the now-synchronized replica exactly as live traffic
+        // would be (a held load tick in particular re-checks the
+        // phase on replay).
+        {
+            let lg = self.groups.get_mut(&group).expect("checked by caller");
+            if let Some(replica) = lg.replica.as_mut() {
+                replica.phase = final_phase;
+            }
+        }
+
         // Drain the holding queue in order (§5.1 step vi). A replica
         // completing as a standby discards the held traffic (backups
         // take no traffic; the messages are in the local log).
@@ -1120,7 +1252,7 @@ impl Mechanisms {
                     // The assignment itself (already applied) or a stale
                     // sync point from an abandoned transfer.
                 }
-                Some(HeldEntry::Normal(held)) => {
+                Some(HeldEntry::Normal(HeldInput::Iiop(held))) => {
                     if held.direction == Direction::Reply {
                         // The transferred outstanding table predates the
                         // held replies; retire them as they drain.
@@ -1130,11 +1262,17 @@ impl Mechanisms {
                         outs.extend(self.deliver_to_replica(group, held, now));
                     }
                 }
+                Some(HeldEntry::Normal(HeldInput::LoadTick)) => {
+                    // A tick ordered after the sync point: the donor's
+                    // captured state predates it, so this replica must
+                    // run it too. The re-issued invocations duplicate
+                    // the siblings' (same restored operation counters →
+                    // same ids) and are suppressed downstream.
+                    if final_phase == ReplicaPhase::Operational {
+                        outs.extend(self.tick_replica(group));
+                    }
+                }
             }
-        }
-        let lg = self.groups.get_mut(&group).expect("checked by caller");
-        if let Some(replica) = lg.replica.as_mut() {
-            replica.phase = final_phase;
         }
         outs.push(Out::RecoveryComplete {
             group,
@@ -1181,7 +1319,11 @@ impl Mechanisms {
         }
         // §4.2.2: replay the stored client handshake message into the
         // new server replica's ORB ahead of any other request from that
-        // client; the response is discarded.
+        // client. Only the negotiated contexts are absorbed — the
+        // handshake rides on the connection's first real request, whose
+        // effects already arrived inside the transferred application
+        // state, so dispatching it again would execute that operation
+        // twice and diverge the recovered replica from its siblings.
         for (conn, handshake_bytes) in &orb_poa.handshakes {
             debug_assert_eq!(conn.server, group);
             let conn_id = match self.server_conns.get(conn) {
@@ -1192,8 +1334,7 @@ impl Mechanisms {
                     id
                 }
             };
-            let _discarded_confirmation =
-                self.orb.handle_request_disposed(conn_id, handshake_bytes);
+            let _unparseable_ignored = self.orb.absorb_handshake(conn_id, handshake_bytes);
         }
         // Future transfers from this processor must know these facts too.
         self.observer

@@ -86,6 +86,17 @@ pub enum EternalMessage {
         /// The complete transferable state.
         state: ThreeKindsOfState,
     },
+    /// An external load stimulus for a replicated client group,
+    /// multicast so every replica ticks at the same total-order point.
+    /// Replica determinism (§2) requires every state-changing input to
+    /// arrive through the total order — a tick applied only to locally
+    /// operational replicas would be missed by a sibling whose state
+    /// was captured before the tick but who becomes operational after
+    /// it, leaving that replica permanently behind.
+    LoadTick {
+        /// The client group to tick.
+        group: GroupId,
+    },
 }
 
 impl EternalMessage {
@@ -141,6 +152,10 @@ impl EternalMessage {
                     .encode(&mut enc)
                     .expect("operation names contain no NUL");
             }
+            EternalMessage::LoadTick { group } => {
+                enc.write_u8(5);
+                enc.write_u32(group.0);
+            }
         }
         enc.into_bytes()
     }
@@ -184,6 +199,9 @@ impl EternalMessage {
                 transfer: TransferId(dec.read_u64()?),
                 purpose: decode_purpose(&mut dec)?,
                 state: ThreeKindsOfState::decode(&mut dec)?,
+            },
+            5 => EternalMessage::LoadTick {
+                group: GroupId(dec.read_u32()?),
             },
             other => return Err(CdrError::UnknownTypeCodeKind(other as u32)),
         })
@@ -292,14 +310,28 @@ pub fn fragment_eternal(
         .collect()
 }
 
+/// A partially reassembled message: the fragment index expected next,
+/// the total announced by the first fragment (every later fragment must
+/// agree), and the bytes accumulated so far.
+#[derive(Debug)]
+struct Partial {
+    next: u32,
+    total: u32,
+    bytes: Vec<u8>,
+}
+
 /// Reassembles [`WireFragment`] streams back into [`EternalMessage`]s.
 ///
 /// Totem delivers fragments of one origin in order, but fragments of
 /// different origins interleave; partial messages are keyed by
-/// `(origin, msg_id)`.
+/// `(origin, msg_id)`. When a processor leaves the membership its
+/// partials must be evicted via [`EternalReassembler::forget_origin`]:
+/// a crashed sender will never complete them, and if it restarts with
+/// its `msg_id` counter rewound, stale bytes would otherwise collide
+/// with the reused key and corrupt or swallow the new message.
 #[derive(Debug, Default)]
 pub struct EternalReassembler {
-    partial: HashMap<(NodeId, u64), (u32, Vec<u8>)>, // (next index, bytes)
+    partial: HashMap<(NodeId, u64), Partial>,
 }
 
 impl EternalReassembler {
@@ -313,29 +345,61 @@ impl EternalReassembler {
         self.partial.len()
     }
 
+    /// Number of messages partially assembled from `origin`.
+    pub fn pending_from(&self, origin: NodeId) -> usize {
+        self.partial.keys().filter(|&&(o, _)| o == origin).count()
+    }
+
+    /// Drops every partial from `origin`. Called on a Totem membership
+    /// change that excludes `origin` (mirroring `giop::Reassembler`'s
+    /// per-connection `reset`): the departed processor will never send
+    /// the remaining fragments, and may reuse `msg_id`s after restart.
+    pub fn forget_origin(&mut self, origin: NodeId) {
+        self.partial.retain(|&(o, _), _| o != origin);
+    }
+
     /// Consumes one Totem payload; returns the completed message when
     /// this was its last fragment.
     ///
     /// # Errors
     ///
     /// Propagates envelope/message decode failures; out-of-order
-    /// fragments (impossible under Totem's guarantees) are reported as
-    /// [`CdrError::TypeMismatch`].
+    /// fragments (impossible under Totem's guarantees), a fragment
+    /// whose `total` disagrees with the first fragment's, or a zero
+    /// `total` are reported as [`CdrError::TypeMismatch`] and the
+    /// partial entry is dropped.
     pub fn push(&mut self, payload: &[u8]) -> Result<Option<EternalMessage>, CdrError> {
         let frag = WireFragment::from_bytes(payload)?;
+        if frag.total == 0 {
+            return Err(CdrError::TypeMismatch {
+                expected: "fragment total > 0",
+                found: "zero-fragment message",
+            });
+        }
         let key = (frag.origin, frag.msg_id);
-        let entry = self.partial.entry(key).or_insert_with(|| (0, Vec::new()));
-        if entry.0 != frag.index {
+        let entry = self.partial.entry(key).or_insert_with(|| Partial {
+            next: 0,
+            total: frag.total,
+            bytes: Vec::new(),
+        });
+        if entry.total != frag.total {
+            self.partial.remove(&key);
+            return Err(CdrError::TypeMismatch {
+                expected: "consistent fragment total",
+                found: "total mismatch within one message",
+            });
+        }
+        if entry.next != frag.index {
             self.partial.remove(&key);
             return Err(CdrError::TypeMismatch {
                 expected: "next fragment index",
                 found: "out-of-order fragment",
             });
         }
-        entry.0 += 1;
-        entry.1.extend_from_slice(&frag.chunk);
-        if entry.0 == frag.total {
-            let (_, bytes) = self.partial.remove(&key).expect("just inserted");
+        entry.next += 1;
+        entry.bytes.extend_from_slice(&frag.chunk);
+        if entry.next == entry.total {
+            let Partial { bytes, .. } = self.partial.remove(&key).expect("just inserted");
             EternalMessage::from_bytes(&bytes).map(Some)
         } else {
             Ok(None)
@@ -516,6 +580,106 @@ mod tests {
         let frags = fragment_eternal(NodeId(0), 1, &msg.to_bytes(), 1000);
         let mut r = EternalReassembler::new();
         assert!(r.push(&frags[1]).is_err());
+    }
+
+    #[test]
+    fn inconsistent_total_rejected_not_tolerated() {
+        // Regression: a fragment lying about `total` used to be
+        // silently tolerated (only the completion check consulted it),
+        // so a malformed stream could complete early or never.
+        let msg = EternalMessage::Iiop {
+            conn: conn(),
+            direction: Direction::Request,
+            op_seq: 0,
+            bytes: vec![7; 2500],
+        };
+        let frags = fragment_eternal(NodeId(0), 1, &msg.to_bytes(), 1000);
+        assert!(frags.len() >= 3);
+        let mut lying = WireFragment::from_bytes(&frags[1]).unwrap();
+        lying.total += 1;
+        let mut r = EternalReassembler::new();
+        assert_eq!(r.push(&frags[0]).unwrap(), None);
+        assert!(
+            r.push(&lying.to_bytes()).is_err(),
+            "total mismatch rejected"
+        );
+        assert_eq!(r.pending(), 0, "poisoned partial dropped");
+    }
+
+    #[test]
+    fn zero_total_rejected() {
+        // Regression: `total == 0` could never satisfy the completion
+        // check, so the entry leaked forever.
+        let frag = WireFragment {
+            origin: NodeId(3),
+            msg_id: 9,
+            index: 0,
+            total: 0,
+            chunk: vec![1, 2, 3],
+        };
+        let mut r = EternalReassembler::new();
+        assert!(r.push(&frag.to_bytes()).is_err());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn forget_origin_evicts_partials_and_permits_msg_id_reuse() {
+        // Regression: a processor crashing mid-message left its partial
+        // forever; after restart it reuses msg_ids from 0, and the
+        // stale entry then corrupted/swallowed the fresh message.
+        let origin = NodeId(2);
+        let old = EternalMessage::Iiop {
+            conn: conn(),
+            direction: Direction::Request,
+            op_seq: 1,
+            bytes: vec![0xAA; 3000],
+        };
+        let old_frags = fragment_eternal(origin, 1, &old.to_bytes(), 1000);
+        assert!(old_frags.len() >= 3);
+        let mut r = EternalReassembler::new();
+        // Crash mid-message: only a prefix arrives.
+        r.push(&old_frags[0]).unwrap();
+        r.push(&old_frags[1]).unwrap();
+        assert_eq!(r.pending_from(origin), 1);
+        // Membership change excluding the origin.
+        r.forget_origin(origin);
+        assert_eq!(r.pending(), 0, "stale partial evicted");
+        // Restarted origin reuses msg_id 1 for a different message.
+        let new = EternalMessage::ReplicaJoining {
+            group: GroupId(5),
+            host: origin,
+        };
+        let new_frags = fragment_eternal(origin, 1, &new.to_bytes(), 1000);
+        let mut out = None;
+        for f in &new_frags {
+            out = r.push(f).unwrap();
+        }
+        assert_eq!(out, Some(new), "reused msg_id delivers cleanly");
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn forget_origin_spares_other_origins() {
+        let m = EternalMessage::Iiop {
+            conn: conn(),
+            direction: Direction::Reply,
+            op_seq: 2,
+            bytes: vec![1; 2000],
+        };
+        let fa = fragment_eternal(NodeId(0), 1, &m.to_bytes(), 1000);
+        let fb = fragment_eternal(NodeId(1), 1, &m.to_bytes(), 1000);
+        let mut r = EternalReassembler::new();
+        r.push(&fa[0]).unwrap();
+        r.push(&fb[0]).unwrap();
+        r.forget_origin(NodeId(0));
+        assert_eq!(r.pending_from(NodeId(0)), 0);
+        assert_eq!(r.pending_from(NodeId(1)), 1);
+        // The spared message still completes.
+        let mut out = None;
+        for f in &fb[1..] {
+            out = r.push(f).unwrap();
+        }
+        assert_eq!(out, Some(m));
     }
 
     #[test]

@@ -11,16 +11,38 @@
 use crate::gid::{ConnectionName, Direction, OperationId};
 use std::collections::{BTreeSet, HashMap};
 
+/// Default bound on the per-stream sparse id set; see
+/// [`DuplicateSuppressor::with_window`].
+pub const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
 /// Sliding-window duplicate filter.
 ///
 /// Per `(connection, direction)` the suppressor keeps a *horizon* (all
 /// ids at or below it have been seen) plus the sparse set of ids seen
 /// above it, advancing the horizon as the window fills. Memory stays
-/// bounded no matter how long the system runs.
-#[derive(Debug, Default)]
+/// bounded no matter how long the system runs: if an id never arrives
+/// (dropped at a reformation, or a cancelled request) and the sparse
+/// set outgrows the window, the horizon is *forced* past the gap. A
+/// straggler copy of a skipped id is then suppressed as a duplicate —
+/// the safe direction for exactly-once semantics (suppress, never
+/// re-execute).
+#[derive(Debug)]
 pub struct DuplicateSuppressor {
     streams: HashMap<(ConnectionName, Direction), Stream>,
     suppressed: u64,
+    window: usize,
+    gaps_skipped: u64,
+}
+
+impl Default for DuplicateSuppressor {
+    fn default() -> Self {
+        Self {
+            streams: HashMap::new(),
+            suppressed: 0,
+            window: DEFAULT_DEDUP_WINDOW,
+            gaps_skipped: 0,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -39,15 +61,41 @@ impl Stream {
         }
     }
 
-    fn record(&mut self, id: u32) {
+    /// Records `id`; returns how many missing ids were skipped over to
+    /// keep the sparse set within `window`.
+    fn record(&mut self, id: u32, window: usize) -> u64 {
         self.above.insert(id);
-        // Advance the horizon over contiguous ids.
+        self.advance_contiguous();
+        let mut skipped = 0;
+        while self.above.len() > window {
+            // A gap is blocking compaction and the window is full:
+            // jump the horizon to the lowest id actually seen, marking
+            // the missing ids in between as seen-by-fiat.
+            let lowest = *self.above.iter().next().expect("non-empty");
+            self.above.remove(&lowest);
+            let below = match self.horizon {
+                None => lowest as u64,
+                Some(h) => (lowest - h - 1) as u64,
+            };
+            skipped += below;
+            self.horizon = Some(lowest);
+            self.advance_contiguous();
+        }
+        skipped
+    }
+
+    fn advance_contiguous(&mut self) {
         loop {
             let next = match self.horizon {
                 None => 0,
                 Some(h) => match h.checked_add(1) {
                     Some(n) => n,
-                    None => return,
+                    None => {
+                        // Horizon saturated at u32::MAX: every possible
+                        // id has been seen; nothing sparse remains.
+                        self.above.clear();
+                        return;
+                    }
                 },
             };
             if self.above.remove(&next) {
@@ -60,9 +108,23 @@ impl Stream {
 }
 
 impl DuplicateSuppressor {
-    /// Creates an empty suppressor.
+    /// Creates an empty suppressor with the default window.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a suppressor whose per-stream sparse set holds at most
+    /// `window` ids before the horizon is forced past a gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(window: usize) -> Self {
+        assert!(window > 0, "dedup window must hold at least one id");
+        Self {
+            window,
+            ..Self::default()
+        }
     }
 
     /// Returns `true` the first time an operation is admitted, `false`
@@ -73,7 +135,7 @@ impl DuplicateSuppressor {
             self.suppressed += 1;
             false
         } else {
-            stream.record(op.request_id);
+            self.gaps_skipped += stream.record(op.request_id, self.window);
             true
         }
     }
@@ -88,6 +150,19 @@ impl DuplicateSuppressor {
     /// Number of duplicates suppressed so far.
     pub fn suppressed_count(&self) -> u64 {
         self.suppressed
+    }
+
+    /// Number of never-seen ids the horizon was forced past to keep
+    /// memory bounded.
+    pub fn gaps_skipped(&self) -> u64 {
+        self.gaps_skipped
+    }
+
+    /// Total ids currently resident in sparse (above-horizon) sets —
+    /// the suppressor's only unbounded-in-principle storage, bounded in
+    /// practice by `window` per stream.
+    pub fn resident(&self) -> usize {
+        self.streams.values().map(|s| s.above.len()).sum()
     }
 
     /// The dedup horizon per stream, for the infrastructure-level state
@@ -206,6 +281,65 @@ mod tests {
         assert!(!fresh.admit(op(350)), "pre-horizon op suppressed");
         assert!(!fresh.admit(op(0)));
         assert!(fresh.admit(op(351)), "new op admitted");
+    }
+
+    #[test]
+    fn permanent_gap_does_not_grow_memory() {
+        // Regression: one permanently missing id used to pin the
+        // horizon forever, so `above` grew without bound.
+        let mut d = DuplicateSuppressor::with_window(512);
+        for i in 0..100_000u32 {
+            if i == 5 {
+                continue; // the hole: dropped at a reformation
+            }
+            assert!(d.admit(op(i)));
+        }
+        assert!(
+            d.resident() <= 512,
+            "sparse set bounded by window, got {}",
+            d.resident()
+        );
+        assert_eq!(d.gaps_skipped(), 1, "exactly the hole was skipped");
+        let h = d.horizons()[0].2;
+        assert!(h >= 99_999 - 512, "horizon forced past the gap, at {h}");
+        // A straggler copy of the skipped id is suppressed, never
+        // re-admitted: the safe direction for exactly-once.
+        assert!(d.has_seen(op(5)));
+        assert!(!d.admit(op(5)));
+    }
+
+    #[test]
+    fn many_gaps_still_bounded() {
+        let mut d = DuplicateSuppressor::with_window(64);
+        // Every third id missing.
+        for i in 0..30_000u32 {
+            if i % 3 != 0 {
+                d.admit(op(i));
+            }
+        }
+        assert!(d.resident() <= 64);
+        assert!(d.gaps_skipped() > 0);
+    }
+
+    #[test]
+    fn horizon_saturates_cleanly_at_u32_max() {
+        // Companion to the ORB-side wraparound fix: ids never exceed
+        // u32::MAX, and if the horizon reaches it the stream is simply
+        // exhausted — every id counts as seen, nothing sparse remains.
+        let mut d = DuplicateSuppressor::new();
+        d.restore_horizons(&[(op(0).conn, Direction::Request, u32::MAX - 2)]);
+        assert!(d.admit(op(u32::MAX - 1)));
+        assert!(d.admit(op(u32::MAX)));
+        assert_eq!(d.horizons()[0].2, u32::MAX);
+        assert_eq!(d.resident(), 0);
+        assert!(!d.admit(op(0)), "exhausted stream admits nothing");
+        assert!(!d.admit(op(u32::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        DuplicateSuppressor::with_window(0);
     }
 
     #[test]

@@ -118,6 +118,15 @@ pub enum EventKind {
     /// Eternal dispatched a control operation (`get_state`/`set_state`)
     /// through the POA.
     OrbControlDispatch,
+
+    // ---- fault-injection campaigns ----
+    /// A chaos campaign injected a fault (crash, partition, loss burst,
+    /// delay spike, …).
+    ChaosFault,
+    /// An invariant check ran at a quiescent point.
+    InvariantCheck,
+    /// An invariant check failed.
+    InvariantViolation,
 }
 
 impl EventKind {
@@ -150,6 +159,9 @@ impl EventKind {
             EventKind::OrbReplyDiscarded => "orb.reply.discarded",
             EventKind::OrbHandshakeNegotiated => "orb.handshake.negotiated",
             EventKind::OrbControlDispatch => "orb.control.dispatch",
+            EventKind::ChaosFault => "chaos.fault",
+            EventKind::InvariantCheck => "invariant.check",
+            EventKind::InvariantViolation => "invariant.violation",
         }
     }
 }
@@ -245,6 +257,9 @@ mod tests {
             EventKind::OrbReplyDiscarded,
             EventKind::OrbHandshakeNegotiated,
             EventKind::OrbControlDispatch,
+            EventKind::ChaosFault,
+            EventKind::InvariantCheck,
+            EventKind::InvariantViolation,
         ];
         all.extend(RecoveryPhase::ALL.iter().map(|&p| EventKind::Phase(p)));
         let codes: std::collections::BTreeSet<&str> = all.iter().map(|k| k.code()).collect();

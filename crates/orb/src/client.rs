@@ -78,6 +78,30 @@ impl ClientConnection {
         self.next_request_id
     }
 
+    /// Allocates the next GIOP request id, refusing to wrap.
+    ///
+    /// The Eternal duplicate-suppression horizon is monotone in id
+    /// space: it never wraps, and it saturates once id `u32::MAX` has
+    /// been seen (every id then counts as already-seen). A client that
+    /// wrapped its counter back to 0 would therefore have every
+    /// subsequent request suppressed as a duplicate. Instead the id
+    /// space is defined as *finite*: `u32::MAX` is reserved as the
+    /// exhaustion sentinel and the connection refuses further requests
+    /// once `0..u32::MAX` are spent, keeping ORB and infrastructure
+    /// views consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::RequestIdsExhausted`] when no usable id remains.
+    fn allocate_request_id(&mut self) -> Result<u32, OrbError> {
+        if self.next_request_id == u32::MAX {
+            return Err(OrbError::RequestIdsExhausted);
+        }
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        Ok(request_id)
+    }
+
     /// Count of replies discarded due to request-id mismatch.
     pub fn discarded_replies(&self) -> u64 {
         self.discarded_replies
@@ -103,7 +127,10 @@ impl ClientConnection {
     ///
     /// # Errors
     ///
-    /// Returns an error if the message fails to encode.
+    /// Returns an error if the message fails to encode, or
+    /// [`OrbError::RequestIdsExhausted`] once the connection has
+    /// consumed all `u32::MAX` usable ids (see
+    /// [`ClientConnection::allocate_request_id`]).
     pub fn build_request(
         &mut self,
         key: &ObjectKey,
@@ -111,8 +138,7 @@ impl ClientConnection {
         args: &[u8],
         response_expected: bool,
     ) -> Result<(u32, Vec<u8>), OrbError> {
-        let request_id = self.next_request_id;
-        self.next_request_id = self.next_request_id.wrapping_add(1);
+        let request_id = self.allocate_request_id()?;
 
         let mut service_context = ServiceContextList::new();
         if !self.handshake_started {
@@ -171,10 +197,10 @@ impl ClientConnection {
     ///
     /// # Errors
     ///
-    /// Returns an error if the message fails to encode.
+    /// Returns an error if the message fails to encode, or
+    /// [`OrbError::RequestIdsExhausted`] once all ids are consumed.
     pub fn build_locate_request(&mut self, key: &ObjectKey) -> Result<(u32, Vec<u8>), OrbError> {
-        let request_id = self.next_request_id;
-        self.next_request_id = self.next_request_id.wrapping_add(1);
+        let request_id = self.allocate_request_id()?;
         let msg = GiopMessage::LocateRequest(eternal_giop::LocateRequestMessage {
             request_id,
             object_key: key.as_bytes().to_vec(),
@@ -314,6 +340,27 @@ mod tests {
         assert_eq!((id0, id1), (0, 1));
         assert_eq!(c.next_request_id(), 2);
         assert_eq!(c.outstanding_count(), 2);
+    }
+
+    #[test]
+    fn request_ids_refuse_to_wrap() {
+        // Regression: ids used to `wrapping_add` back to 0, but the
+        // dedup horizon downstream is monotone and saturates at
+        // u32::MAX, so every post-wrap request would be suppressed as a
+        // duplicate. The connection now treats the id space as finite.
+        let mut c = ClientConnection::new(1);
+        c.restore_request_id(u32::MAX - 2);
+        let (a, _) = c.build_request(&key(), "op", &[], true).unwrap();
+        let (b, _) = c.build_request(&key(), "op", &[], true).unwrap();
+        assert_eq!((a, b), (u32::MAX - 2, u32::MAX - 1));
+        let err = c.build_request(&key(), "op", &[], true).unwrap_err();
+        assert!(matches!(err, OrbError::RequestIdsExhausted));
+        // No wrap happened, and nothing half-issued is outstanding.
+        assert_eq!(c.next_request_id(), u32::MAX);
+        assert_eq!(c.outstanding_count(), 2);
+        // Locate requests share the counter and the refusal.
+        let err = c.build_locate_request(&key()).unwrap_err();
+        assert!(matches!(err, OrbError::RequestIdsExhausted));
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum OrbError {
     UnexpectedMessage(&'static str),
     /// The servant rejected the operation.
     Servant(crate::servant::ServantError),
+    /// The connection spent every usable GIOP request id (`u32::MAX` is
+    /// reserved as the exhaustion sentinel). Ids must not wrap: the
+    /// duplicate-suppression horizon is monotone, so a wrapped id would
+    /// be treated as a duplicate of an old operation and silently
+    /// dropped.
+    RequestIdsExhausted,
 }
 
 impl fmt::Display for OrbError {
@@ -30,6 +36,9 @@ impl fmt::Display for OrbError {
             OrbError::UnknownConnection(id) => write!(f, "unknown connection {id}"),
             OrbError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
             OrbError::Servant(e) => write!(f, "servant error: {e}"),
+            OrbError::RequestIdsExhausted => {
+                write!(f, "connection exhausted its GIOP request-id space")
+            }
         }
     }
 }

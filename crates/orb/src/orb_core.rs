@@ -259,6 +259,36 @@ impl Orb {
         result
     }
 
+    /// Absorbs a replayed handshake on server connection `conn`:
+    /// installs the negotiated service contexts and short-key aliases
+    /// without dispatching the piggybacked operation (see
+    /// [`crate::server::ServerConnection::absorb_handshake`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown connection or parse failure.
+    pub fn absorb_handshake(&mut self, conn: u64, bytes: &[u8]) -> Result<(), OrbError> {
+        let server = self
+            .servers
+            .get_mut(&conn)
+            .ok_or(OrbError::UnknownConnection(conn))?;
+        let negotiated_before = server.is_negotiated();
+        let result = server.absorb_handshake(bytes);
+        if self.trace.is_enabled() && result.is_ok() {
+            let negotiated_after = self.servers.get(&conn).is_some_and(|s| s.is_negotiated());
+            if !negotiated_before && negotiated_after {
+                self.metrics.counter_add("orb.handshakes_negotiated", 1);
+                self.trace.record(
+                    self.clock,
+                    format!("{}/orb", self.host),
+                    EventKind::OrbHandshakeNegotiated,
+                    format!("conn={conn}"),
+                );
+            }
+        }
+        result
+    }
+
     /// Feeds incoming reply bytes to client connection `conn`.
     ///
     /// # Errors

@@ -177,6 +177,49 @@ impl ServerConnection {
         ))
     }
 
+    /// Absorbs a *replayed* handshake request: caches its negotiated
+    /// service contexts and short-key aliases exactly as
+    /// [`ServerConnection::handle_request`] would, but does **not**
+    /// dispatch the operation the handshake rode on and produces no
+    /// reply.
+    ///
+    /// Eternal replays the stored handshake into a recovered server
+    /// replica's ORB (§4.2.2) so it can interpret negotiated shortcuts.
+    /// The handshake is the connection's first real request, and that
+    /// operation's effects already arrived inside the transferred
+    /// application state — dispatching it again here would execute it a
+    /// second time and break exactly-once semantics (the recovered
+    /// replica would permanently diverge from its siblings by one
+    /// operation).
+    ///
+    /// # Errors
+    ///
+    /// Parse failures, or a non-request message.
+    pub fn absorb_handshake(&mut self, bytes: &[u8]) -> Result<(), OrbError> {
+        let msg = GiopMessage::from_bytes(bytes)?;
+        let GiopMessage::Request(req) = msg else {
+            return Err(OrbError::UnexpectedMessage(
+                "server connection received a non-request message",
+            ));
+        };
+        self.last_seen_request_id = Some(req.request_id);
+        if let Some(cs) = req.service_context.find(CONTEXT_CODE_SETS) {
+            if let Ok(ctx) = CodeSetContext::from_context_data(&cs.data) {
+                self.negotiated.code_sets = Some(ctx);
+            }
+        }
+        if let Some(vh) = req.service_context.find(CONTEXT_ETERNAL_VENDOR) {
+            if let Ok(hs) = VendorHandshake::from_context_data(&vh.data) {
+                self.short_keys
+                    .insert(hs.short_key, ObjectKey::new(hs.full_key.clone()));
+                self.negotiated
+                    .short_keys
+                    .insert(hs.short_key, hs.full_key.clone());
+            }
+        }
+        Ok(())
+    }
+
     /// Answers a GIOP `LocateRequest`: `ObjectHere` when a servant is
     /// active under the (possibly short-form) key, `UnknownObject`
     /// otherwise.
@@ -213,8 +256,8 @@ impl ServerConnection {
     }
 
     /// Injects negotiated state directly (tests only; the product path
-    /// is Eternal's handshake *replay*, which exercises the normal
-    /// [`ServerConnection::handle_request`] flow).
+    /// is Eternal's handshake *replay*, which goes through
+    /// [`ServerConnection::absorb_handshake`]).
     pub fn restore_negotiated(&mut self, negotiated: NegotiatedState) {
         for (&alias, full) in &negotiated.short_keys {
             self.short_keys.insert(alias, ObjectKey::new(full.clone()));

@@ -132,6 +132,18 @@ impl NetworkModel {
         &self.config
     }
 
+    /// Changes the receiver-side frame-loss probability at runtime
+    /// (fault injection: loss bursts). Clamped to `[0, 1]`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.config.loss_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Changes the per-frame propagation delay at runtime (fault
+    /// injection: delay spikes).
+    pub fn set_propagation_delay(&mut self, d: Duration) {
+        self.config.propagation_delay = d;
+    }
+
     /// All node ids, up or down.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
@@ -355,6 +367,22 @@ mod tests {
         let mut n = NetworkModel::new(2, cfg, 1);
         assert!(n.multicast(NodeId(0), 10, SimTime::ZERO).is_empty());
         assert_eq!(n.frames_dropped(), 1);
+    }
+
+    #[test]
+    fn runtime_fault_knobs_apply_and_restore() {
+        let mut n = net(2);
+        n.set_loss_probability(1.0);
+        assert!(n.multicast(NodeId(0), 10, SimTime::ZERO).is_empty());
+        n.set_loss_probability(0.0);
+        assert_eq!(n.multicast(NodeId(0), 10, SimTime::ZERO).len(), 1);
+        let base = n.multicast(NodeId(0), 10, SimTime::ZERO)[0].at;
+        n.set_propagation_delay(Duration::from_millis(5));
+        let spiked = n.multicast(NodeId(0), 10, SimTime::ZERO)[0].at;
+        assert!(spiked > base + Duration::from_millis(4));
+        // Out-of-range probabilities are clamped, not propagated.
+        n.set_loss_probability(7.0);
+        assert_eq!(n.config().loss_probability, 1.0);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Chaos-derived regression tests. Each test pins one recovery-path
+//! bug that the deterministic fault-injection campaigns (`repro --
+//! chaos`, see `docs/CHAOS.md`) originally exposed, either as a
+//! direct cluster-level scenario or as a replay of the exact campaign
+//! seed that found it. They must stay green: a reintroduction of any
+//! of these bugs flips the corresponding assertion.
+
+use eternal::app::{BlobServant, BurstClient, CounterServant, StreamingClient};
+use eternal::chaos::{run_campaign, CampaignConfig};
+use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::gid::GroupId;
+use eternal::properties::FaultToleranceProperties;
+use eternal_sim::Duration;
+
+fn cluster(seed: u64) -> Cluster {
+    Cluster::new(ClusterConfig::default(), seed)
+}
+
+/// All live operational replicas of `group`, with their
+/// application-level state bytes.
+fn replica_states(c: &mut Cluster, group: GroupId) -> Vec<(String, Vec<u8>)> {
+    c.hosting(group)
+        .into_iter()
+        .filter_map(|n| {
+            c.probe_application_state(n, group)
+                .map(|s| (n.to_string(), s))
+        })
+        .collect()
+}
+
+fn assert_converged(c: &mut Cluster, group: GroupId, replicas: usize) {
+    let states = replica_states(c, group);
+    assert_eq!(states.len(), replicas, "all replicas live and operational");
+    for pair in states.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "replica state diverged between {} and {}",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
+/// Regression: the §4.2.2 handshake replay at a recovered server
+/// replica used to go through the full dispatch path, re-executing the
+/// application operation piggybacked on the stored handshake request —
+/// a permanent +1 divergence from the siblings whose transferred state
+/// already contained that operation's effect. The replay must absorb
+/// the ORB-level state (request ids, code sets, object-key bindings)
+/// without dispatching.
+#[test]
+fn recovered_server_replica_state_is_byte_identical() {
+    let mut c = cluster(7);
+    let server = c.deploy_server("counter", FaultToleranceProperties::active(3), || {
+        Box::new(CounterServant::default())
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 2))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(60));
+
+    let victim = c.hosting(server)[0];
+    c.kill_replica(server, victim);
+    c.run_for(Duration::from_millis(400));
+
+    assert_eq!(c.metrics().recoveries_completed, 1);
+    assert_converged(&mut c, server, 3);
+}
+
+/// Regression: load ticks used to be applied directly to each
+/// processor's locally *operational* client replicas, outside the
+/// total order. A tick landing inside a client-group state-transfer
+/// window then advanced the donor after its `get_state` capture, and
+/// the recovered sibling came up permanently one burst behind. Ticks
+/// now travel through the totally-ordered multicast and obey the §5.1
+/// phase discipline (dropped pre-sync, held and replayed during
+/// enqueueing) — and the replayed tick must run against the
+/// now-operational replica, not be discarded by a stale phase check.
+#[test]
+fn load_ticks_during_recovery_keep_client_replicas_identical() {
+    let mut c = cluster(10);
+    let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    let driver = c.deploy_client("driver", FaultToleranceProperties::active(2), move |_| {
+        Box::new(BurstClient::new(server, "increment", 4))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(40));
+
+    // Kill one driver replica, then keep ticking while its replacement
+    // is launched and synchronized, so ticks land in every phase of
+    // the transfer window.
+    let victim = c.hosting(driver)[0];
+    c.kill_replica(driver, victim);
+    for _ in 0..60 {
+        c.run_for(Duration::from_millis(1));
+        c.kick_clients();
+    }
+    c.run_for(Duration::from_millis(500));
+
+    assert!(c.metrics().recoveries_completed >= 1);
+    assert!(!c.recovery_in_flight());
+    assert_converged(&mut c, driver, 2);
+    assert_converged(&mut c, server, 2);
+}
+
+/// Regression: when the recovering host died mid-transfer, the
+/// donor-side `StateCaptured` notifications still in flight used to
+/// re-create the aborted episode in the cluster's bookkeeping, leaving
+/// `recovery_in_flight()` true forever (and blocking every later
+/// launch of the group). Aborted transfers must stay aborted; the
+/// group must still converge back to full strength via a fresh
+/// episode.
+#[test]
+fn crash_of_recovering_host_mid_transfer_releases_recovery_machinery() {
+    let mut c = cluster(2);
+    let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
+        Box::new(BlobServant::with_size(200_000))
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(50));
+
+    let victim = c.hosting(server)[0];
+    c.kill_replica(server, victim);
+    // A 200 kB transfer takes tens of virtual milliseconds; stop in
+    // the middle of it and crash the recovering host.
+    c.run_for(Duration::from_millis(15));
+    let (_, new_host) = c
+        .pending_launches()
+        .into_iter()
+        .find(|&(g, _)| g == server)
+        .expect("recovery mid-flight");
+    c.crash_processor(new_host);
+
+    c.run_for(Duration::from_secs(3));
+    assert!(
+        !c.recovery_in_flight(),
+        "aborted episode resurrected: {:?}",
+        c.pending_launches()
+    );
+    assert_converged(&mut c, server, 2);
+}
+
+/// Regression: a processor restart used to reset its transfer-id
+/// counter, so the ids it fabricated after the restart collided with
+/// pre-crash ids that the survivors' duplicate-suppression tables had
+/// already seen — the matching `StateAssignment` was silently dropped
+/// and the recovering replica waited forever. Transfer ids now carry
+/// the fabricating node's incarnation number. Campaign seed 3 drives
+/// exactly this interleaving (restart, then a recovery whose retrieval
+/// the restarted node fabricates).
+#[test]
+fn restarted_processor_transfer_ids_do_not_collide() {
+    let summary = run_campaign(&CampaignConfig {
+        seed: 3,
+        ..CampaignConfig::default()
+    });
+    assert!(summary.passed(), "{summary}");
+}
+
+/// Regression: a crash + fast restart used to rejoin the Totem ring
+/// before token-loss detection ever excluded the node, so the
+/// survivors' membership-change fault path never fired and they kept
+/// the dead incarnation's replicas in their operational views — even
+/// electing the empty node as state donor, wedging every later
+/// recovery of those groups. The rejoined node now announces its
+/// previous incarnation's replica deaths through the total order.
+/// Campaign seed 60 drives exactly this interleaving.
+#[test]
+fn fast_restart_rejoin_prunes_stale_operational_views() {
+    let summary = run_campaign(&CampaignConfig {
+        seed: 60,
+        ..CampaignConfig::default()
+    });
+    assert!(summary.passed(), "{summary}");
+}
+
+/// Recovery must complete under sustained message loss: Totem
+/// retransmits cover the gaps, and the transfer window simply widens.
+#[test]
+fn recovery_completes_under_message_loss() {
+    let mut c = cluster(5);
+    let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 2))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(40));
+
+    c.net_mut().set_loss_probability(0.05);
+    let victim = c.hosting(server)[0];
+    c.kill_replica(server, victim);
+    c.run_for(Duration::from_secs(2));
+    c.net_mut().set_loss_probability(0.0);
+    c.run_for(Duration::from_millis(300));
+
+    assert_eq!(c.metrics().recoveries_completed, 1);
+    assert!(!c.recovery_in_flight());
+    assert_converged(&mut c, server, 2);
+}
+
+/// The campaign itself is a deterministic function of its seed: two
+/// runs with identical configuration must render identical summaries,
+/// byte for byte — that is what makes `--seed` a reproduction recipe.
+#[test]
+fn campaign_replay_is_byte_identical() {
+    let cfg = CampaignConfig {
+        seed: 17,
+        steps: 3,
+        blob_size: 20_000,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign(&cfg).to_string();
+    let b = run_campaign(&cfg).to_string();
+    assert_eq!(a, b);
+}
