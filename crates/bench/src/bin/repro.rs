@@ -19,20 +19,58 @@
 //!
 //! It prints the campaign summary and exits nonzero if any invariant
 //! was violated, so CI can gate on it.
+//!
+//! `bench` runs the deterministic benchmark suite (also outside the
+//! everything-run; see `docs/BENCHMARKS.md`), writing
+//! `BENCH_eternal.json` and exiting nonzero on violated invariants:
+//!
+//! ```sh
+//! cargo run --release -p eternal-bench --bin repro -- bench --quick
+//! ```
+//!
+//! Unknown experiment names print a one-line usage and exit 2.
 
 use eternal::chaos::{run_campaign, CampaignConfig};
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
     ablation_run, checkpoint_sweep_point, fig6_point, fig6_timeline, frag_threshold,
-    overhead_point, replica_count_point, style_run,
+    overhead_point, replica_count_point, style_run, suite,
 };
 use eternal_obs::timeline::render_breakdown_table;
 use eternal_sim::Duration;
+
+/// Experiments runnable by name (an empty argument list runs them all).
+const EXPERIMENTS: [&str; 9] = [
+    "fig6",
+    "timeline",
+    "overhead",
+    "styles",
+    "checkpoint-sweep",
+    "frag-threshold",
+    "replicas",
+    "ablation-reqid",
+    "ablation-handshake",
+];
+
+fn usage() {
+    eprintln!(
+        "usage: repro [{}] | repro bench [--quick] | repro chaos [--seed N] [--steps M]",
+        EXPERIMENTS.join("|")
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "chaos") {
         std::process::exit(chaos(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "bench") {
+        std::process::exit(bench(&args[1..]));
+    }
+    if let Some(unknown) = args.iter().find(|a| !EXPERIMENTS.contains(&a.as_str())) {
+        eprintln!("repro: unknown experiment {unknown:?}");
+        usage();
+        std::process::exit(2);
     }
     let all = args.is_empty();
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -97,6 +135,34 @@ fn chaos(args: &[String]) -> i32 {
     let summary = run_campaign(&cfg);
     println!("{summary}");
     i32::from(!summary.passed())
+}
+
+/// `repro -- bench [--quick]`: the deterministic benchmark suite.
+/// Writes `BENCH_eternal.json` to the current directory and exits
+/// nonzero if any suite invariant was violated (see
+/// `docs/BENCHMARKS.md`).
+fn bench(args: &[String]) -> i32 {
+    let mut quick = false;
+    for flag in args {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("bench: unknown flag {other} (expected --quick)");
+                return 2;
+            }
+        }
+    }
+    let report = suite::run_suite(quick);
+    print!("{}", report.json);
+    if let Err(e) = std::fs::write("BENCH_eternal.json", &report.json) {
+        eprintln!("bench: cannot write BENCH_eternal.json: {e}");
+        return 1;
+    }
+    eprintln!("bench: wrote BENCH_eternal.json");
+    for v in &report.violations {
+        eprintln!("bench: VIOLATION {v}");
+    }
+    i32::from(!report.violations.is_empty())
 }
 
 fn fig6() {

@@ -1,0 +1,311 @@
+//! The deterministic benchmark suite behind `repro -- bench`.
+//!
+//! Four sections, all in virtual time (so two runs with the same seed
+//! produce byte-identical output):
+//!
+//! * **fault_free_rtt** — T1's mid-band point: mean round trip through
+//!   the replicated path vs the unreplicated IIOP baseline.
+//! * **small_message_throughput** — a streaming-client workload run
+//!   twice, with token-visit batching on (default budget) and off,
+//!   drained to the *same* delivered-reply count; reports frames, wire
+//!   bytes, medium busy time, and the batching counters, and checks
+//!   that the batched run ends with byte-identical replica state and
+//!   at least 25 % fewer Ethernet frames.
+//! * **recovery** — Figure 6 recovery time at three state sizes.
+//! * **allocations** — encode/decode buffer-pool statistics over the
+//!   throughput workload: how many buffer takes were served from the
+//!   pool instead of the allocator.
+//!
+//! The suite renders `BENCH_eternal.json` (schema documented in
+//! `docs/BENCHMARKS.md`) with a fixed key order and integer-only
+//! values, and collects invariant violations so the caller can exit
+//! nonzero.
+
+use crate::{fig6_point, overhead_point};
+use eternal::app::{CounterServant, StreamingClient};
+use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::properties::FaultToleranceProperties;
+use eternal_sim::Duration;
+use std::fmt::Write;
+
+/// Seed every section runs under.
+pub const SUITE_SEED: u64 = 42;
+
+/// The finished suite: the JSON document and any violated invariants.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `BENCH_eternal.json` contents (trailing newline included).
+    pub json: String,
+    /// Human-readable invariant violations (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+/// One drained streaming-client run at a fixed batching budget.
+#[derive(Debug, Clone, Copy)]
+struct ThroughputRun {
+    replies: u64,
+    frames: u64,
+    wire_bytes: u64,
+    busy_ns: u64,
+    batches: u64,
+    batched_messages: u64,
+    frames_saved: u64,
+    /// FNV-1a over the converged server-replica state bytes.
+    state_digest: u64,
+}
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Streams `limit` two-way invocations at a 2-way active counter server
+/// and drains the traffic completely, so two runs that differ only in
+/// the batching budget are comparable at identical delivered-reply
+/// counts.
+fn throughput_run(budget: usize, limit: u64, seed: u64) -> ThroughputRun {
+    let mut config = ClusterConfig {
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    config.totem.batch_budget_bytes = budget;
+    let mut cluster = Cluster::new(config, seed);
+    let server = cluster.deploy_server("counter", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    cluster.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 16).with_limit(limit))
+    });
+    cluster.run_until_deployed();
+    let deadline = cluster.now() + Duration::from_secs(60);
+    loop {
+        cluster.run_for(Duration::from_millis(10));
+        let m = cluster.metrics();
+        if m.replies_delivered >= limit && cluster.outstanding_calls() == 0 {
+            break;
+        }
+        assert!(
+            cluster.now() < deadline,
+            "throughput workload failed to drain (replies={} of {limit})",
+            m.replies_delivered
+        );
+    }
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let hosts = cluster.hosting(server);
+    let mut reference: Option<Vec<u8>> = None;
+    for node in hosts {
+        let state = cluster
+            .probe_application_state(node, server)
+            .expect("replica operational at quiescence");
+        match &reference {
+            None => {
+                digest = fnv1a(digest, &state);
+                reference = Some(state);
+            }
+            Some(r) => assert_eq!(r, &state, "replica state diverged within one run"),
+        }
+    }
+    let m = cluster.metrics();
+    let reg = cluster.metrics_registry();
+    ThroughputRun {
+        replies: m.replies_delivered,
+        frames: cluster.net().frames_sent(),
+        wire_bytes: cluster.net().bytes_sent(),
+        busy_ns: cluster.net().busy_time().as_nanos(),
+        batches: reg.counter("totem.batches"),
+        batched_messages: reg.counter("totem.batched_messages"),
+        frames_saved: reg.counter("totem.frames_saved"),
+        state_digest: digest,
+    }
+}
+
+fn reduction_pct_x100(unbatched: u64, batched: u64) -> u64 {
+    if unbatched == 0 {
+        return 0;
+    }
+    unbatched.saturating_sub(batched) * 10_000 / unbatched
+}
+
+fn throughput_json(out: &mut String, label: &str, r: &ThroughputRun) {
+    let _ = write!(
+        out,
+        "    \"{label}\": {{\"frames\": {}, \"wire_bytes\": {}, \"busy_ns\": {}, \
+         \"batches\": {}, \"batched_messages\": {}, \"frames_saved\": {}, \
+         \"state_digest\": \"{}\"}}",
+        r.frames,
+        r.wire_bytes,
+        r.busy_ns,
+        r.batches,
+        r.batched_messages,
+        r.frames_saved,
+        r.state_digest
+    );
+}
+
+/// Runs the whole suite. `quick` shrinks the workloads for CI smoke
+/// runs (the output stays deterministic for a given `quick` value).
+pub fn run_suite(quick: bool) -> BenchReport {
+    let mut violations: Vec<String> = Vec::new();
+    let seed = SUITE_SEED;
+
+    // --- fault-free round trip (T1 mid-band point) ---
+    let rtt = overhead_point(Duration::from_micros(500), seed);
+    let overhead_pct_x100 = {
+        let r = rtt.replicated_rtt.as_nanos();
+        let u = rtt.unreplicated_rtt.as_nanos();
+        r.saturating_sub(u) * 10_000 / u.max(1)
+    };
+
+    // --- small-message throughput: batching on vs off ---
+    let limit: u64 = if quick { 150 } else { 400 };
+    let default_budget = eternal_totem::TotemConfig::default().batch_budget_bytes;
+    let batched = throughput_run(default_budget, limit, seed);
+    let unbatched = throughput_run(0, limit, seed);
+    if batched.replies != unbatched.replies {
+        violations.push(format!(
+            "throughput: delivered-reply counts differ (batched {} vs unbatched {})",
+            batched.replies, unbatched.replies
+        ));
+    }
+    if batched.state_digest != unbatched.state_digest {
+        violations.push(format!(
+            "throughput: final replica state differs (batched {:x} vs unbatched {:x})",
+            batched.state_digest, unbatched.state_digest
+        ));
+    }
+    let frame_reduction = reduction_pct_x100(unbatched.frames, batched.frames);
+    if frame_reduction < 2_500 {
+        violations.push(format!(
+            "throughput: frame reduction {}.{:02}% < 25% (batched {} vs unbatched {})",
+            frame_reduction / 100,
+            frame_reduction % 100,
+            batched.frames,
+            unbatched.frames
+        ));
+    }
+    let byte_reduction = reduction_pct_x100(unbatched.wire_bytes, batched.wire_bytes);
+
+    // --- recovery time at three state sizes (Figure 6) ---
+    let sizes: [usize; 3] = if quick {
+        [1_000, 20_000, 60_000]
+    } else {
+        [1_000, 100_000, 350_000]
+    };
+    let recovery: Vec<_> = sizes.iter().map(|&s| fig6_point(s, seed)).collect();
+    for w in recovery.windows(2) {
+        if w[1].recovery <= w[0].recovery {
+            violations.push(format!(
+                "recovery: time not monotone in state size ({} at {}B vs {} at {}B)",
+                w[0].recovery, w[0].state_bytes, w[1].recovery, w[1].state_bytes
+            ));
+        }
+    }
+
+    // --- allocation behaviour of the buffer pool ---
+    // Reset, run the batched workload once more, read the thread-local
+    // pool statistics: deterministic allocation counts without any
+    // allocator hooks.
+    eternal_cdr::pool::reset();
+    let _ = throughput_run(default_budget, limit, seed);
+    let pool = eternal_cdr::pool::stats();
+    let reuse_pct_x100 = (pool.reused * 10_000).checked_div(pool.takes).unwrap_or(0);
+    if pool.reused == 0 {
+        violations.push("allocations: buffer pool never reused a buffer".to_string());
+    }
+
+    // --- render (fixed key order, integers and strings only) ---
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"quick\": {},", u8::from(quick));
+    let _ = writeln!(
+        out,
+        "  \"fault_free_rtt\": {{\"exec_time_ns\": {}, \"replicated_ns\": {}, \
+         \"unreplicated_ns\": {}, \"overhead_pct_x100\": {}}},",
+        rtt.exec_time.as_nanos(),
+        rtt.replicated_rtt.as_nanos(),
+        rtt.unreplicated_rtt.as_nanos(),
+        overhead_pct_x100
+    );
+    out.push_str("  \"small_message_throughput\": {\n");
+    let _ = writeln!(out, "    \"replies\": {},", batched.replies);
+    throughput_json(&mut out, "batched", &batched);
+    out.push_str(",\n");
+    throughput_json(&mut out, "unbatched", &unbatched);
+    out.push_str(",\n");
+    let _ = writeln!(out, "    \"frame_reduction_pct_x100\": {frame_reduction},");
+    let _ = writeln!(
+        out,
+        "    \"wire_byte_reduction_pct_x100\": {byte_reduction}"
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"recovery\": [\n");
+    for (i, p) in recovery.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"state_bytes\": {}, \"transferred_bytes\": {}, \"recovery_ns\": {}, \
+             \"frames\": {}}}{}",
+            p.state_bytes,
+            p.transferred_bytes,
+            p.recovery.as_nanos(),
+            p.frames,
+            if i + 1 < recovery.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"allocations\": {{\"takes\": {}, \"fresh\": {}, \"reused\": {}, \
+         \"recycled\": {}, \"dropped\": {}, \"reuse_pct_x100\": {}}},",
+        pool.takes, pool.fresh, pool.reused, pool.recycled, pool.dropped, reuse_pct_x100
+    );
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    out.push_str("]\n}\n");
+
+    BenchReport {
+        json: out,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_deterministic_and_clean() {
+        let a = run_suite(true);
+        let b = run_suite(true);
+        assert_eq!(a.json, b.json, "same inputs must render byte-identically");
+        assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+        assert!(a.json.ends_with("\"violations\": []\n}\n"));
+    }
+
+    #[test]
+    fn batching_bends_the_frame_curve() {
+        let batched = throughput_run(1408, 150, 9);
+        let unbatched = throughput_run(0, 150, 9);
+        assert_eq!(batched.replies, unbatched.replies);
+        assert_eq!(batched.state_digest, unbatched.state_digest);
+        assert!(
+            batched.frames * 4 <= unbatched.frames * 3,
+            "expected >= 25% fewer frames: {} vs {}",
+            batched.frames,
+            unbatched.frames
+        );
+        assert!(batched.wire_bytes < unbatched.wire_bytes);
+        assert!(batched.busy_ns < unbatched.busy_ns);
+        assert!(batched.frames_saved > 0);
+        assert_eq!(unbatched.batches, 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! The CDR decoder: a cursor over a byte slice applying CDR alignment
 //! rules.
 
-use crate::{CdrError, Endian};
+use crate::{pool, CdrError, Endian};
 
 /// Decodes values from a CDR stream.
 ///
@@ -161,7 +161,8 @@ impl<'a> CdrDecoder<'a> {
         String::from_utf8(body.to_vec()).map_err(|_| CdrError::InvalidUtf8)
     }
 
-    /// Reads a `sequence<octet>`.
+    /// Reads a `sequence<octet>` into a pooled buffer (callers that
+    /// finish with the bytes may [`pool::recycle`] them).
     pub fn read_octet_seq(&mut self) -> Result<Vec<u8>, CdrError> {
         let len = self.read_u32()?;
         if len as usize > self.remaining() {
@@ -170,7 +171,10 @@ impl<'a> CdrDecoder<'a> {
                 remaining: self.remaining(),
             });
         }
-        Ok(self.take(len as usize)?.to_vec())
+        let slice = self.take(len as usize)?;
+        let mut out = pool::take();
+        out.extend_from_slice(slice);
+        Ok(out)
     }
 
     /// Reads `n` raw bytes with no alignment.
@@ -194,7 +198,9 @@ impl<'a> CdrDecoder<'a> {
         let endian = Endian::from_flag(bytes[0]);
         let mut inner = CdrDecoder::new(&bytes, endian);
         inner.read_u8()?; // consume flag byte; alignment stays relative to buffer start
-        parse(&mut inner)
+        let out = parse(&mut inner);
+        pool::recycle(bytes);
+        out
     }
 }
 

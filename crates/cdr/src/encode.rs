@@ -1,25 +1,44 @@
 //! The CDR encoder: an append-only buffer with CDR alignment rules.
 
-use crate::{CdrError, Endian};
+use crate::{pool, CdrError, Endian};
 
 /// Encodes values into a CDR stream.
 ///
-/// Alignment is computed relative to position 0 of this encoder, which in
-/// GIOP corresponds to the start of the message *body* (the 12-byte GIOP
+/// Alignment is computed relative to the encoder's *base*: position 0 for
+/// an encoder made with [`CdrEncoder::new`], or the existing length of
+/// the buffer handed to [`CdrEncoder::append_to`]. In GIOP the base
+/// corresponds to the start of the message *body* (the 12-byte GIOP
 /// header is constructed so that the body begins 8-aligned).
+///
+/// Fresh encoders draw their buffer from the thread-local [`pool`], so a
+/// caller that recycles encoded bytes after use pays no allocation on
+/// the steady-state path.
 #[derive(Debug, Clone)]
 pub struct CdrEncoder {
     buf: Vec<u8>,
+    base: usize,
     endian: Endian,
 }
 
 impl CdrEncoder {
-    /// Creates an empty encoder with the given byte order.
+    /// Creates an empty encoder with the given byte order. The backing
+    /// buffer comes from the thread-local [`pool`].
     pub fn new(endian: Endian) -> Self {
         CdrEncoder {
-            buf: Vec::new(),
+            buf: pool::take(),
+            base: 0,
             endian,
         }
+    }
+
+    /// Creates an encoder that appends to `buf`, treating the current
+    /// end of `buf` as CDR position 0 for alignment. [`into_bytes`]
+    /// returns the whole buffer, prefix included.
+    ///
+    /// [`into_bytes`]: CdrEncoder::into_bytes
+    pub fn append_to(buf: Vec<u8>, endian: Endian) -> Self {
+        let base = buf.len();
+        CdrEncoder { buf, base, endian }
     }
 
     /// The byte order in use.
@@ -27,31 +46,34 @@ impl CdrEncoder {
         self.endian
     }
 
-    /// Current length of the encoded stream.
+    /// Length of the encoded stream (excluding any pre-existing prefix
+    /// handed to [`CdrEncoder::append_to`]).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.base
     }
 
     /// Whether nothing has been written yet.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Consumes the encoder and returns the encoded bytes.
+    /// Consumes the encoder and returns the buffer — the encoded bytes,
+    /// preceded by any prefix handed to [`CdrEncoder::append_to`].
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
-    /// A view of the bytes written so far.
+    /// A view of the bytes written by this encoder (excluding any
+    /// prefix handed to [`CdrEncoder::append_to`]).
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        &self.buf[self.base..]
     }
 
-    /// Inserts padding bytes so the next write is `align`-aligned.
-    /// CDR pads with zero bytes.
+    /// Inserts padding bytes so the next write is `align`-aligned
+    /// relative to the encoder's base. CDR pads with zero bytes.
     pub fn align(&mut self, align: usize) {
         debug_assert!(align.is_power_of_two());
-        let misalign = self.buf.len() % align;
+        let misalign = (self.buf.len() - self.base) % align;
         if misalign != 0 {
             self.buf.resize(self.buf.len() + (align - misalign), 0);
         }
@@ -154,7 +176,8 @@ impl CdrEncoder {
         let mut inner = CdrEncoder::new(self.endian);
         inner.write_u8(self.endian.flag());
         build(&mut inner);
-        self.write_octet_seq(&inner.into_bytes());
+        self.write_octet_seq(inner.as_bytes());
+        pool::recycle(inner.into_bytes());
     }
 }
 
@@ -243,5 +266,32 @@ mod tests {
         e.write_bool(true);
         e.write_bool(false);
         assert_eq!(e.as_bytes(), &[1, 0]);
+    }
+
+    #[test]
+    fn append_to_aligns_relative_to_the_prefix_end() {
+        // A 3-byte prefix must not perturb CDR alignment: position 0 is
+        // the end of the prefix, so a u32 goes down with no padding.
+        let mut e = CdrEncoder::append_to(vec![0xAA, 0xBB, 0xCC], Endian::Big);
+        assert!(e.is_empty());
+        e.write_u32(0x01020304);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.as_bytes(), &[1, 2, 3, 4]);
+        assert_eq!(e.into_bytes(), vec![0xAA, 0xBB, 0xCC, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn append_to_matches_fresh_encoder_byte_for_byte() {
+        let mut fresh = CdrEncoder::new(Endian::Little);
+        fresh.write_u8(7);
+        fresh.write_u64(0x1122334455667788);
+        fresh.write_string("pad").unwrap();
+
+        let mut appended = CdrEncoder::append_to(vec![0xFF; 5], Endian::Little);
+        appended.write_u8(7);
+        appended.write_u64(0x1122334455667788);
+        appended.write_string("pad").unwrap();
+
+        assert_eq!(fresh.as_bytes(), appended.as_bytes());
     }
 }

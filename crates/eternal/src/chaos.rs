@@ -111,6 +111,11 @@ pub struct CampaignConfig {
     pub settle_cap: Duration,
     /// Upper bound on per-processor dedup residency (invariant 5).
     pub dedup_resident_cap: usize,
+    /// Overrides Totem's token-visit batching budget for the run
+    /// (`Some(0)` disables batching, `None` keeps the protocol
+    /// default). The invariants must hold at any budget — the batching
+    /// test drives the same campaign with batching on and off.
+    pub batch_budget_bytes: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -125,6 +130,7 @@ impl Default for CampaignConfig {
             settle_slice: Duration::from_millis(10),
             settle_cap: Duration::from_secs(3),
             dedup_resident_cap: 8_192,
+            batch_budget_bytes: None,
         }
     }
 }
@@ -263,13 +269,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         cfg.processors >= 4,
         "campaign topology needs >= 4 processors"
     );
-    let cluster = Cluster::new(
-        ClusterConfig {
-            processors: cfg.processors,
-            ..ClusterConfig::default()
-        },
-        cfg.seed.wrapping_add(1),
-    );
+    let mut cluster_cfg = ClusterConfig {
+        processors: cfg.processors,
+        ..ClusterConfig::default()
+    };
+    if let Some(budget) = cfg.batch_budget_bytes {
+        cluster_cfg.totem.batch_budget_bytes = budget;
+    }
+    let cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
     let mut campaign = Campaign {
         cfg,
         rng: SimRng::seed_from_u64(cfg.seed),

@@ -24,7 +24,7 @@ use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
 use eternal_sim::trace::Trace;
 use eternal_sim::{Duration, Scheduler, SimTime};
 use eternal_totem::node::{Action as TotemAction, Delivery as TotemDelivery, Phase, TotemNode};
-use eternal_totem::types::{Frame, Timer as TotemTimer};
+use eternal_totem::types::{Frame, Payload, Timer as TotemTimer};
 use eternal_totem::TotemConfig;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -64,6 +64,18 @@ impl Default for ClusterConfig {
             trace_capacity: eternal_obs::trace::DEFAULT_CAPACITY,
         }
     }
+}
+
+/// FNV-1a offset basis: the digest of an empty delivery history.
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a digest.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[derive(Debug)]
@@ -158,6 +170,12 @@ pub struct Cluster {
     /// the token-rotation-time histogram.
     last_token_at: HashMap<NodeId, SimTime>,
     episodes: BTreeMap<TransferId, EpisodeObs>,
+    /// Per-node chained FNV-1a digest over every reassembled IIOP
+    /// delivery, in delivery order (the batching-invariant witness).
+    delivery_digest: BTreeMap<NodeId, u64>,
+    /// Chained digests over each (connection, direction) IIOP stream as
+    /// seen at each node; direction encoded 0 = request, 1 = reply.
+    stream_digests: BTreeMap<(NodeId, ConnectionName, u8), u64>,
     /// Restart count per processor, stamped into rebuilt mechanisms so
     /// their fabricated transfer ids never repeat a pre-crash id.
     incarnations: BTreeMap<NodeId, u32>,
@@ -202,6 +220,8 @@ impl Cluster {
             registry: MetricsRegistry::new(),
             last_token_at: HashMap::new(),
             episodes: BTreeMap::new(),
+            delivery_digest: BTreeMap::new(),
+            stream_digests: BTreeMap::new(),
             incarnations: BTreeMap::new(),
             timelines: Vec::new(),
             clients_started: false,
@@ -386,6 +406,9 @@ impl Cluster {
             reg.counter_add("totem.retransmits_served", s.retransmits_served);
             reg.counter_add("totem.token_retransmits", s.token_retransmits);
             reg.counter_add("totem.reformations", s.reformations);
+            reg.counter_add("totem.batches", s.batches);
+            reg.counter_add("totem.batched_messages", s.batched_messages);
+            reg.counter_add("totem.frames_saved", s.frames_saved);
         }
         for mech in self.mechs.values() {
             let c = mech.counters();
@@ -406,6 +429,28 @@ impl Cluster {
     /// completion order.
     pub fn recovery_timelines(&self) -> &[RecoveryTimeline] {
         &self.timelines
+    }
+
+    /// Chained FNV-1a digest over every IIOP message delivered (after
+    /// total-order delivery and reassembly) at `node`, in delivery
+    /// order. Two nodes that delivered the same messages in the same
+    /// order have equal digests; the digest survives processor restarts
+    /// (it keeps accumulating), so compare it across never-crashed
+    /// nodes only.
+    pub fn delivery_digest(&self, node: NodeId) -> u64 {
+        self.delivery_digest.get(&node).copied().unwrap_or(FNV_SEED)
+    }
+
+    /// Per-stream delivery digests at `node`: for each logical
+    /// (connection, direction) IIOP stream, the chained FNV-1a digest
+    /// over that stream's messages in delivery order (direction encoded
+    /// 0 = request, 1 = reply). Deterministically ordered.
+    pub fn stream_digests(&self, node: NodeId) -> Vec<((ConnectionName, u8), u64)> {
+        self.stream_digests
+            .iter()
+            .filter(|((n, _, _), _)| *n == node)
+            .map(|(&(_, conn, dir), &h)| ((conn, dir), h))
+            .collect()
     }
 
     // ================================================================
@@ -1010,6 +1055,7 @@ impl Cluster {
             let actions = self.totem.get_mut(&src).expect("known").broadcast(frag);
             self.apply_totem_actions(src, actions);
         }
+        eternal_cdr::pool::recycle(encoded);
     }
 
     fn apply_totem_actions(&mut self, node: NodeId, actions: Vec<TotemAction>) {
@@ -1017,6 +1063,14 @@ impl Cluster {
         for action in actions {
             match action {
                 TotemAction::Multicast(frame) => {
+                    if let Frame::Regular(m) = &frame {
+                        if let Payload::Batch(items) = m.payload.inner() {
+                            self.registry.histogram_record_value(
+                                "totem.batch.occupancy",
+                                items.len() as u64,
+                            );
+                        }
+                    }
                     let wire = frame.wire_len().min(self.net.config().frame_payload());
                     for d in self.net.multicast(node, wire, now) {
                         self.sched.schedule_at(
@@ -1053,8 +1107,11 @@ impl Cluster {
         let now = self.sched.now();
         match delivery {
             TotemDelivery::Message { data, .. } => {
-                match self.reasm.get_mut(&node).expect("known").push(&data) {
+                let pushed = self.reasm.get_mut(&node).expect("known").push(&data);
+                eternal_cdr::pool::recycle(data);
+                match pushed {
                     Ok(Some(message)) => {
+                        self.digest_delivery(node, &message);
                         self.observe_recovery_message(node, &message, now);
                         self.resource_manager_hook(node, &message, now);
                         let outs = self
@@ -1328,6 +1385,41 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// Folds a reassembled IIOP delivery into `node`'s chained digests
+    /// (the whole-node digest and the per-stream one). Non-IIOP
+    /// protocol messages are excluded: they are identical by
+    /// construction across batching modes, and the invariant of
+    /// interest is the total order of *application* traffic.
+    fn digest_delivery(&mut self, node: NodeId, message: &EternalMessage) {
+        let EternalMessage::Iiop {
+            conn,
+            direction,
+            op_seq,
+            bytes,
+        } = message
+        else {
+            return;
+        };
+        let dir = match direction {
+            Direction::Request => 0u8,
+            Direction::Reply => 1u8,
+        };
+        let fold = |mut h: u64| {
+            h = fnv1a(h, &conn.client.0.to_be_bytes());
+            h = fnv1a(h, &conn.server.0.to_be_bytes());
+            h = fnv1a(h, &[dir]);
+            h = fnv1a(h, &op_seq.to_be_bytes());
+            fnv1a(h, bytes)
+        };
+        let whole = self.delivery_digest.entry(node).or_insert(FNV_SEED);
+        *whole = fold(*whole);
+        let stream = self
+            .stream_digests
+            .entry((node, *conn, dir))
+            .or_insert(FNV_SEED);
+        *stream = fold(*stream);
     }
 
     /// Watches delivered recovery-protocol messages to place the episode

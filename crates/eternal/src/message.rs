@@ -298,14 +298,16 @@ pub fn fragment_eternal(
         .map(|index| {
             let start = index as usize * chunk_size;
             let end = (start + chunk_size).min(encoded.len());
-            WireFragment {
-                origin,
-                msg_id,
-                index,
-                total,
-                chunk: encoded[start..end].to_vec(),
-            }
-            .to_bytes()
+            // Encode the envelope around a borrowed chunk slice —
+            // byte-identical to `WireFragment::to_bytes` without
+            // materializing an owned chunk first.
+            let mut enc = CdrEncoder::new(Endian::Big);
+            enc.write_u32(origin.0);
+            enc.write_u64(msg_id);
+            enc.write_u32(index);
+            enc.write_u32(total);
+            enc.write_octet_seq(&encoded[start..end]);
+            enc.into_bytes()
         })
         .collect()
 }
@@ -380,7 +382,7 @@ impl EternalReassembler {
         let entry = self.partial.entry(key).or_insert_with(|| Partial {
             next: 0,
             total: frag.total,
-            bytes: Vec::new(),
+            bytes: eternal_cdr::pool::take(),
         });
         if entry.total != frag.total {
             self.partial.remove(&key);
@@ -398,9 +400,12 @@ impl EternalReassembler {
         }
         entry.next += 1;
         entry.bytes.extend_from_slice(&frag.chunk);
+        eternal_cdr::pool::recycle(frag.chunk);
         if entry.next == entry.total {
             let Partial { bytes, .. } = self.partial.remove(&key).expect("just inserted");
-            EternalMessage::from_bytes(&bytes).map(Some)
+            let msg = EternalMessage::from_bytes(&bytes);
+            eternal_cdr::pool::recycle(bytes);
+            msg.map(Some)
         } else {
             Ok(None)
         }

@@ -189,9 +189,18 @@ impl GiopMessage {
 
     /// Serializes header + body. Always emits big-endian streams; the
     /// decoder honours either byte order.
+    ///
+    /// Header and body share one pooled buffer: the 12 header bytes are
+    /// reserved up front, the body is CDR-encoded in place behind them
+    /// (alignment relative to the body start, as before), and the
+    /// header — which needs the final body length — is patched into the
+    /// reservation at the end. One allocation-free buffer instead of
+    /// the old encode-then-concatenate copy.
     pub fn to_bytes(&self) -> Result<Vec<u8>, GiopError> {
         let endian = Endian::Big;
-        let mut body = CdrEncoder::new(endian);
+        let mut buf = eternal_cdr::pool::take();
+        buf.resize(GIOP_HEADER_LEN, 0);
+        let mut body = CdrEncoder::append_to(buf, endian);
         let mut more_fragments = false;
         match self {
             GiopMessage::Request(r) => {
@@ -223,12 +232,11 @@ impl GiopMessage {
                 body.write_raw(data);
             }
         }
-        let body = body.into_bytes();
-        let mut header = GiopHeader::new(self.message_type(), endian, body.len() as u32);
+        let body_len = body.len() as u32;
+        let mut header = GiopHeader::new(self.message_type(), endian, body_len);
         header.more_fragments = more_fragments;
-        let mut out = Vec::with_capacity(GIOP_HEADER_LEN + body.len());
-        out.extend_from_slice(&header.to_bytes());
-        out.extend_from_slice(&body);
+        let mut out = body.into_bytes();
+        out[..GIOP_HEADER_LEN].copy_from_slice(&header.to_bytes());
         Ok(out)
     }
 

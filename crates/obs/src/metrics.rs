@@ -64,12 +64,23 @@ impl LogHistogram {
 
     /// Records one sample.
     pub fn record(&mut self, d: Duration) {
-        let ns = d.as_nanos();
-        self.buckets[Self::bucket_index(ns)] += 1;
+        self.record_value(d.as_nanos());
+    }
+
+    /// Records one dimensionless sample (e.g. a batch occupancy count).
+    ///
+    /// The buckets are the same log₂ buckets used for nanoseconds — a
+    /// unit is whatever the caller says it is. Duration-flavoured
+    /// accessors ([`min`](LogHistogram::min) etc.) then read in "nanos",
+    /// so dimensionless histograms should be read via
+    /// [`percentile`](LogHistogram::percentile)`.as_nanos()` and
+    /// friends, interpreting the number in the caller's unit.
+    pub fn record_value(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
         self.count += 1;
-        self.sum_ns += ns as u128;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
+        self.sum_ns += v as u128;
+        self.min_ns = self.min_ns.min(v);
+        self.max_ns = self.max_ns.max(v);
     }
 
     /// Number of recorded samples.
@@ -216,6 +227,15 @@ impl MetricsRegistry {
             .record(d);
     }
 
+    /// Records a dimensionless sample into the named histogram (see
+    /// [`LogHistogram::record_value`]).
+    pub fn histogram_record_value(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_value(v);
+    }
+
     /// The named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
         self.histograms.get(name)
@@ -351,6 +371,20 @@ mod tests {
         assert!(text.contains("totem.retransmits = 5"));
         assert!(text.contains("ring.size = 4 (gauge)"));
         assert!(text.contains("orb.round_trip: count=1"));
+    }
+
+    #[test]
+    fn dimensionless_values_share_the_buckets() {
+        let mut h = LogHistogram::new();
+        for occupancy in [1u64, 1, 2, 4, 8] {
+            h.record_value(occupancy);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min().as_nanos(), 1);
+        assert_eq!(h.max().as_nanos(), 8);
+        let mut r = MetricsRegistry::new();
+        r.histogram_record_value("totem.batch.occupancy", 3);
+        assert_eq!(r.histogram("totem.batch.occupancy").unwrap().count(), 1);
     }
 
     #[test]

@@ -103,6 +103,7 @@ pub struct NetworkModel {
     up: HashMap<NodeId, bool>,
     partition_of: HashMap<NodeId, u32>,
     busy_until: SimTime,
+    busy_time: Duration,
     frames_sent: u64,
     frames_dropped: u64,
     bytes_sent: u64,
@@ -121,6 +122,7 @@ impl NetworkModel {
             up,
             partition_of,
             busy_until: SimTime::ZERO,
+            busy_time: Duration::ZERO,
             frames_sent: 0,
             frames_dropped: 0,
             bytes_sent: 0,
@@ -228,6 +230,7 @@ impl NetworkModel {
         let start = now.max(self.busy_until);
         let ser = self.config.serialization_time(payload);
         self.busy_until = start + ser;
+        self.busy_time += ser;
         self.frames_sent += 1;
         self.bytes_sent += (payload + self.config.frame_overhead) as u64;
         let arrival = start + ser + self.config.propagation_delay + self.config.per_frame_recv_cpu;
@@ -267,6 +270,13 @@ impl NetworkModel {
     /// Total wire bytes (payload + headers) transmitted so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Cumulative time the shared medium has spent serializing frames —
+    /// the utilization numerator for throughput benchmarks (batching
+    /// shows up directly as less busy time per delivered message).
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
     }
 }
 
@@ -407,5 +417,8 @@ mod tests {
         n.multicast(NodeId(0), 200, SimTime::ZERO);
         assert_eq!(n.frames_sent(), 2);
         assert_eq!(n.bytes_sent(), 100 + 200 + 2 * 46);
+        let cfg = NetworkConfig::default();
+        let expected = cfg.serialization_time(100) + cfg.serialization_time(200);
+        assert_eq!(n.busy_time(), expected);
     }
 }

@@ -23,6 +23,18 @@ pub struct TotemConfig {
     /// Maximum distance `seq` may run ahead of the slowest member's aru
     /// before broadcasts are held back.
     pub window_size: u64,
+    /// Aggregation budget for token-visit batching, in payload bytes.
+    ///
+    /// While holding the token, a member packs consecutive pending small
+    /// messages into one [`crate::types::Payload::Batch`] as long as the
+    /// batch's wire size (4-byte count plus 4-byte length prefix per
+    /// item) stays within this budget; the batch is flushed when the
+    /// budget is exhausted, the flow-control allowance runs out, or the
+    /// token is passed on. `0` disables batching (every message gets its
+    /// own frame). The default of 1408 keeps even a recovered batch
+    /// (32-byte regular header + 24-byte recovery envelope + batch)
+    /// within one 1472-byte Ethernet frame payload.
+    pub batch_budget_bytes: usize,
 }
 
 impl Default for TotemConfig {
@@ -34,6 +46,7 @@ impl Default for TotemConfig {
             consensus_timeout: Duration::from_millis(40),
             max_messages_per_token: 8,
             window_size: 256,
+            batch_budget_bytes: 1408,
         }
     }
 }

@@ -93,8 +93,10 @@ struct OldRecovery {
     ring: RingId,
     /// Old-ring seqs (above my aru) I still have to deliver, ascending.
     expected: VecDeque<u64>,
-    /// Old-ring messages I hold or have recovered, keyed by old seq.
-    store: BTreeMap<u64, (NodeId, Vec<u8>)>,
+    /// Old-ring messages I hold or have recovered, keyed by old seq. The
+    /// payload is the original `App` or `Batch` (never `Recovered`), so
+    /// a recovered batch still unpacks into the same app messages.
+    store: BTreeMap<u64, (NodeId, Payload)>,
     /// Old-ring seqs assigned to me for re-broadcast.
     to_rebroadcast: VecDeque<u64>,
 }
@@ -143,6 +145,9 @@ pub struct TotemNode {
     retransmits_served: u64,
     token_retransmits: u64,
     reformations: u64,
+    batches: u64,
+    batched_messages: u64,
+    frames_saved: u64,
 }
 
 /// Snapshot of a node's protocol counters, for export into a metrics
@@ -164,6 +169,14 @@ pub struct TotemStats {
     /// Membership reformations (gather entries) this node initiated or
     /// joined.
     pub reformations: u64,
+    /// Multi-message [`Payload::Batch`] frames this node packed.
+    pub batches: u64,
+    /// Application messages carried inside those batches.
+    pub batched_messages: u64,
+    /// Ethernet frames avoided by batching (`batched_messages -
+    /// batches`): each batch of *k* messages replaces *k* frames with
+    /// one.
+    pub frames_saved: u64,
 }
 
 impl TotemNode {
@@ -195,6 +208,9 @@ impl TotemNode {
             retransmits_served: 0,
             token_retransmits: 0,
             reformations: 0,
+            batches: 0,
+            batched_messages: 0,
+            frames_saved: 0,
         }
     }
 
@@ -242,6 +258,9 @@ impl TotemNode {
             retransmits_served: self.retransmits_served,
             token_retransmits: self.token_retransmits,
             reformations: self.reformations,
+            batches: self.batches,
+            batched_messages: self.batched_messages,
+            frames_saved: self.frames_saved,
         }
     }
 
@@ -801,10 +820,10 @@ impl TotemNode {
                 .copied()
                 .filter(|&s| s > self.my_aru)
                 .collect();
-            let store: BTreeMap<u64, (NodeId, Vec<u8>)> = self
+            let store: BTreeMap<u64, (NodeId, Payload)> = self
                 .received
                 .iter()
-                .map(|(&s, m)| (s, (m.sender, m.payload.data().to_vec())))
+                .map(|(&s, m)| (s, (m.sender, m.payload.inner().clone())))
                 .collect();
             OldRecovery {
                 ring: old_ring,
@@ -859,16 +878,31 @@ impl TotemNode {
         if let Some(rec) = self.old_recovery.as_mut() {
             while let Some(&next) = rec.expected.front() {
                 match rec.store.get(&next) {
-                    Some((sender, data)) => {
-                        let (sender, data) = (*sender, data.clone());
+                    Some((sender, payload)) => {
+                        let (sender, payload) = (*sender, payload.clone());
                         rec.expected.pop_front();
-                        self.delivered_count += 1;
-                        actions.push(Action::Deliver(Delivery::Message {
-                            ring: rec.ring,
-                            seq: next,
-                            sender,
-                            data,
-                        }));
+                        let ring = rec.ring;
+                        let deliver =
+                            |data: Vec<u8>, count: &mut u64, actions: &mut Vec<Action>| {
+                                *count += 1;
+                                actions.push(Action::Deliver(Delivery::Message {
+                                    ring,
+                                    seq: next,
+                                    sender,
+                                    data,
+                                }));
+                            };
+                        match payload {
+                            Payload::App(data) => deliver(data, &mut self.delivered_count, actions),
+                            Payload::Batch(items) => {
+                                for data in items {
+                                    deliver(data, &mut self.delivered_count, actions);
+                                }
+                            }
+                            Payload::Recovered { .. } => {
+                                unreachable!("recovery store holds unwrapped payloads")
+                            }
+                        }
                     }
                     None => break,
                 }
@@ -1030,7 +1064,7 @@ impl TotemNode {
                 let Some(&old_seq) = rec.to_rebroadcast.front() else {
                     break;
                 };
-                let Some((orig_sender, data)) = rec.store.get(&old_seq).cloned() else {
+                let Some((orig_sender, payload)) = rec.store.get(&old_seq).cloned() else {
                     // We were assigned a message we no longer hold (should
                     // not happen); drop the obligation.
                     rec.to_rebroadcast.pop_front();
@@ -1047,7 +1081,7 @@ impl TotemNode {
                         old_ring,
                         old_seq,
                         original_sender: orig_sender,
-                        data,
+                        data: Box::new(payload),
                     },
                 };
                 actions.push(Action::Multicast(Frame::Regular(msg.clone())));
@@ -1062,14 +1096,14 @@ impl TotemNode {
                 && !self.pending.is_empty()
                 && t.seq.saturating_sub(self.my_aru) < self.cfg.window_size
             {
-                let data = self.pending.pop_front().expect("non-empty");
+                let first = self.pending.pop_front().expect("non-empty");
+                let payload = self.pack_batch(first);
                 t.seq += 1;
-                self.broadcast_count += 1;
                 let msg = RegularMsg {
                     ring: t.ring,
                     seq: t.seq,
                     sender: self.id,
-                    payload: Payload::App(data),
+                    payload,
                 };
                 actions.push(Action::Multicast(Frame::Regular(msg.clone())));
                 self.store_and_deliver(msg, actions);
@@ -1123,28 +1157,57 @@ impl TotemNode {
         self.store_and_deliver(m, actions);
     }
 
+    /// Greedily packs `first` plus as many consecutive pending messages
+    /// as fit within the batch budget into one payload (the token-visit
+    /// batching fast path). Returns a plain [`Payload::App`] when
+    /// batching is disabled, the message alone exceeds the budget, or
+    /// nothing else fits.
+    fn pack_batch(&mut self, first: Vec<u8>) -> Payload {
+        self.broadcast_count += 1;
+        let budget = self.cfg.batch_budget_bytes;
+        // A batch costs 4 bytes (item count) plus 4 bytes per item.
+        let mut batch_len = 4 + 4 + first.len();
+        if budget == 0 || batch_len > budget {
+            return Payload::App(first);
+        }
+        let mut items = vec![first];
+        while let Some(next) = self.pending.front() {
+            if batch_len + 4 + next.len() > budget {
+                break;
+            }
+            batch_len += 4 + next.len();
+            items.push(self.pending.pop_front().expect("non-empty"));
+            self.broadcast_count += 1;
+        }
+        if items.len() == 1 {
+            return Payload::App(items.pop().expect("single item"));
+        }
+        self.batches += 1;
+        self.batched_messages += items.len() as u64;
+        self.frames_saved += items.len() as u64 - 1;
+        Payload::Batch(items)
+    }
+
     /// Stores a regular message and advances in-order (agreed) delivery.
+    /// Batches unpack here, transparently: each item becomes its own
+    /// [`Delivery::Message`] carrying the batch's ring position.
     fn store_and_deliver(&mut self, m: RegularMsg, actions: &mut Vec<Action>) {
         self.received.insert(m.seq, m);
         while let Some(msg) = self.received.get(&(self.my_aru + 1)) {
             self.my_aru += 1;
-            let msg = msg.clone();
-            match &msg.payload {
-                Payload::App(data) => match self.phase {
-                    Phase::Recover => {
-                        self.deferred
-                            .push((msg.ring, msg.seq, msg.sender, data.clone()));
+            let RegularMsg {
+                ring,
+                seq,
+                sender,
+                payload,
+            } = msg.clone();
+            match payload {
+                Payload::App(data) => self.deliver_or_defer(ring, seq, sender, data, actions),
+                Payload::Batch(items) => {
+                    for data in items {
+                        self.deliver_or_defer(ring, seq, sender, data, actions);
                     }
-                    _ => {
-                        self.delivered_count += 1;
-                        actions.push(Action::Deliver(Delivery::Message {
-                            ring: msg.ring,
-                            seq: msg.seq,
-                            sender: msg.sender,
-                            data: data.clone(),
-                        }));
-                    }
-                },
+                }
                 Payload::Recovered {
                     old_ring,
                     old_seq,
@@ -1154,8 +1217,8 @@ impl TotemNode {
                     // Only meaningful while we are recovering that ring.
                     if self.phase == Phase::Recover {
                         if let Some(rec) = self.old_recovery.as_mut() {
-                            if rec.ring == *old_ring && !rec.store.contains_key(old_seq) {
-                                rec.store.insert(*old_seq, (*original_sender, data.clone()));
+                            if rec.ring == old_ring && !rec.store.contains_key(&old_seq) {
+                                rec.store.insert(old_seq, (original_sender, *data));
                             }
                         }
                     }
@@ -1165,6 +1228,29 @@ impl TotemNode {
         let mut finish = Vec::new();
         self.try_finish_recovery(&mut finish);
         actions.extend(finish);
+    }
+
+    /// Delivers one application message, or buffers it if new-ring
+    /// traffic is still blocked behind old-ring recovery.
+    fn deliver_or_defer(
+        &mut self,
+        ring: RingId,
+        seq: u64,
+        sender: NodeId,
+        data: Vec<u8>,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.phase == Phase::Recover {
+            self.deferred.push((ring, seq, sender, data));
+        } else {
+            self.delivered_count += 1;
+            actions.push(Action::Deliver(Delivery::Message {
+                ring,
+                seq,
+                sender,
+                data,
+            }));
+        }
     }
 
     /// Sequences pending messages directly on a singleton ring.
@@ -1268,8 +1354,12 @@ mod tests {
     /// Drives two nodes through formation by exchanging their actions
     /// directly (no network model).
     fn form_pair() -> (TotemNode, TotemNode) {
-        let mut a = TotemNode::new(n(0), cfg());
-        let mut b = TotemNode::new(n(1), cfg());
+        form_pair_with(cfg(), cfg())
+    }
+
+    fn form_pair_with(cfg_a: TotemConfig, cfg_b: TotemConfig) -> (TotemNode, TotemNode) {
+        let mut a = TotemNode::new(n(0), cfg_a);
+        let mut b = TotemNode::new(n(1), cfg_b);
         let mut queue: Vec<(NodeId, Frame)> = Vec::new();
         let push = |from: NodeId, actions: Vec<Action>, queue: &mut Vec<(NodeId, Frame)>| {
             for act in actions {
@@ -1473,7 +1563,18 @@ mod tests {
 
     #[test]
     fn token_visit_broadcasts_pending_with_flow_control() {
-        let (mut a, _) = form_pair();
+        // Batching off: each pending message takes its own seq, so the
+        // flow-control constant is visible as a frame count.
+        let (mut a, _) = form_pair_with(
+            TotemConfig {
+                batch_budget_bytes: 0,
+                ..cfg()
+            },
+            TotemConfig {
+                batch_budget_bytes: 0,
+                ..cfg()
+            },
+        );
         let ring = a.ring().unwrap();
         for i in 0..20u8 {
             a.broadcast(vec![i]);
@@ -1645,5 +1746,174 @@ mod tests {
             .iter()
             .any(|f| matches!(f, Frame::Regular(m) if m.seq == 2));
         assert!(!served, "GC'd message must not be retransmitted");
+    }
+
+    fn token_for(ring: RingId) -> Token {
+        Token {
+            ring,
+            target: n(0),
+            token_seq: 100,
+            seq: 0,
+            rtr: BTreeSet::new(),
+            aru: RotationAru {
+                this_rotation_min: 0,
+                last_rotation_min: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn token_visit_batches_small_messages_into_one_frame() {
+        let (mut a, _) = form_pair(); // default config: batching on
+        let ring = a.ring().unwrap();
+        for i in 0..20u8 {
+            a.broadcast(vec![i]);
+        }
+        let actions = a.handle_frame(Frame::Token(token_for(ring)));
+        let regulars: Vec<_> = multicasts(&actions)
+            .into_iter()
+            .filter_map(|f| match f {
+                Frame::Regular(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        // All 20 1-byte messages fit in one batch frame under one seq.
+        assert_eq!(regulars.len(), 1);
+        assert_eq!(regulars[0].seq, 1);
+        match &regulars[0].payload {
+            Payload::Batch(items) => {
+                assert_eq!(items.len(), 20);
+                assert_eq!(items[0], vec![0]);
+                assert_eq!(items[19], vec![19]);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(a.backlog(), 0);
+        // Delivery unpacks: 20 ordered messages, all at ring position 1.
+        let dels = deliveries(&actions);
+        assert_eq!(dels.len(), 20);
+        for (i, d) in dels.iter().enumerate() {
+            match d {
+                Delivery::Message { seq: 1, data, .. } => assert_eq!(data, &vec![i as u8]),
+                other => panic!("expected message, got {other:?}"),
+            }
+        }
+        let stats = a.stats();
+        assert_eq!(stats.broadcasts, 20);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_messages, 20);
+        assert_eq!(stats.frames_saved, 19);
+        // The forwarded token advanced by one seq only.
+        let fwd = multicasts(&actions)
+            .into_iter()
+            .find_map(|f| match f {
+                Frame::Token(t) => Some(t.clone()),
+                _ => None,
+            })
+            .expect("token forwarded");
+        assert_eq!(fwd.seq, 1);
+    }
+
+    #[test]
+    fn batch_budget_flushes_into_multiple_frames() {
+        // Budget 40: two 10-byte items cost 4 + 2*(4+10) = 32 ≤ 40, a
+        // third would cost 46 — so batches of exactly two.
+        let cfg_small = TotemConfig {
+            batch_budget_bytes: 40,
+            ..cfg()
+        };
+        let (mut a, _) = form_pair_with(cfg_small, cfg());
+        let ring = a.ring().unwrap();
+        for i in 0..6u8 {
+            a.broadcast(vec![i; 10]);
+        }
+        let actions = a.handle_frame(Frame::Token(token_for(ring)));
+        let regulars: Vec<_> = multicasts(&actions)
+            .into_iter()
+            .filter_map(|f| match f {
+                Frame::Regular(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regulars.len(), 3);
+        for (i, m) in regulars.iter().enumerate() {
+            assert_eq!(m.seq, i as u64 + 1);
+            match &m.payload {
+                Payload::Batch(items) => assert_eq!(items.len(), 2),
+                other => panic!("expected batch, got {other:?}"),
+            }
+        }
+        assert_eq!(deliveries(&actions).len(), 6);
+        assert_eq!(a.stats().frames_saved, 3);
+    }
+
+    #[test]
+    fn oversized_message_bypasses_batching() {
+        let cfg_small = TotemConfig {
+            batch_budget_bytes: 40,
+            ..cfg()
+        };
+        let (mut a, _) = form_pair_with(cfg_small, cfg());
+        let ring = a.ring().unwrap();
+        a.broadcast(vec![7; 100]); // alone exceeds the budget
+        a.broadcast(vec![8; 10]);
+        let actions = a.handle_frame(Frame::Token(token_for(ring)));
+        let regulars: Vec<_> = multicasts(&actions)
+            .into_iter()
+            .filter_map(|f| match f {
+                Frame::Regular(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regulars.len(), 2);
+        assert!(matches!(&regulars[0].payload, Payload::App(d) if d.len() == 100));
+        assert!(matches!(&regulars[1].payload, Payload::App(d) if d.len() == 10));
+        assert_eq!(a.stats().batches, 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_batching() {
+        let cfg_off = TotemConfig {
+            batch_budget_bytes: 0,
+            ..cfg()
+        };
+        let (mut a, _) = form_pair_with(cfg_off, cfg());
+        let ring = a.ring().unwrap();
+        for i in 0..4u8 {
+            a.broadcast(vec![i]);
+        }
+        let actions = a.handle_frame(Frame::Token(token_for(ring)));
+        let regulars: Vec<_> = multicasts(&actions)
+            .into_iter()
+            .filter_map(|f| match f {
+                Frame::Regular(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regulars.len(), 4);
+        assert!(regulars
+            .iter()
+            .all(|m| matches!(&m.payload, Payload::App(_))));
+        assert_eq!(a.stats().frames_saved, 0);
+    }
+
+    #[test]
+    fn received_batch_unpacks_in_order() {
+        let (mut a, _) = form_pair();
+        let ring = a.ring().unwrap();
+        let batch = RegularMsg {
+            ring,
+            seq: 1,
+            sender: n(1),
+            payload: Payload::Batch(vec![vec![10], vec![11], vec![12]]),
+        };
+        let actions = a.handle_frame(Frame::Regular(batch));
+        let dels = deliveries(&actions);
+        assert_eq!(dels.len(), 3);
+        for (i, d) in dels.iter().enumerate() {
+            assert!(matches!(d, Delivery::Message { seq: 1, sender, data, .. }
+                    if *sender == n(1) && data == &vec![10 + i as u8]));
+        }
+        assert_eq!(a.aru(), 1, "a batch occupies exactly one seq");
     }
 }

@@ -33,6 +33,12 @@ impl std::fmt::Display for RingId {
 pub enum Payload {
     /// An application message (for Eternal: one IIOP chunk).
     App(Vec<u8>),
+    /// Several application messages packed into one frame during a
+    /// single token visit. A batch occupies one sequence number and is
+    /// unpacked transparently at delivery, in order, so the total order
+    /// over application messages is exactly what it would have been had
+    /// each item been broadcast alone.
+    Batch(Vec<Vec<u8>>),
     /// An old-ring message re-broadcast on the new ring during membership
     /// recovery, so that all surviving members of the old ring deliver it
     /// before the configuration change (virtual synchrony).
@@ -43,24 +49,38 @@ pub enum Payload {
         old_seq: u64,
         /// Its original sender.
         original_sender: NodeId,
-        /// The application bytes.
-        data: Vec<u8>,
+        /// The original payload (an `App` or `Batch`, never a nested
+        /// `Recovered`), preserved intact so a recovered batch still
+        /// unpacks into the same sequence of application messages.
+        data: Box<Payload>,
     },
 }
 
 impl Payload {
-    /// The application bytes, regardless of wrapping.
-    pub fn data(&self) -> &[u8] {
+    /// Strips any [`Payload::Recovered`] wrapping, yielding the `App`
+    /// or `Batch` that was originally broadcast.
+    pub fn inner(&self) -> &Payload {
         match self {
-            Payload::App(d) => d,
             Payload::Recovered { data, .. } => data,
+            other => other,
+        }
+    }
+
+    /// Number of application messages this payload delivers.
+    pub fn message_count(&self) -> usize {
+        match self.inner() {
+            Payload::App(_) => 1,
+            Payload::Batch(items) => items.len(),
+            Payload::Recovered { .. } => unreachable!("inner() strips Recovered"),
         }
     }
 
     fn wire_len(&self) -> usize {
         match self {
             Payload::App(d) => d.len(),
-            Payload::Recovered { data, .. } => data.len() + 24,
+            // Count prefix plus a length prefix per item.
+            Payload::Batch(items) => 4 + items.iter().map(|i| 4 + i.len()).sum::<usize>(),
+            Payload::Recovered { data, .. } => data.wire_len() + 24,
         }
     }
 }
@@ -241,9 +261,12 @@ mod tests {
     }
 
     #[test]
-    fn payload_data_unwraps() {
+    fn payload_inner_unwraps_and_counts() {
         let app = Payload::App(vec![1, 2]);
-        assert_eq!(app.data(), &[1, 2]);
+        assert_eq!(app.inner(), &app);
+        assert_eq!(app.message_count(), 1);
+        let batch = Payload::Batch(vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(batch.message_count(), 3);
         let rec = Payload::Recovered {
             old_ring: RingId {
                 seq: 0,
@@ -251,9 +274,42 @@ mod tests {
             },
             old_seq: 5,
             original_sender: NodeId(1),
-            data: vec![3],
+            data: Box::new(batch.clone()),
         };
-        assert_eq!(rec.data(), &[3]);
+        assert_eq!(rec.inner(), &batch);
+        assert_eq!(rec.message_count(), 3);
+    }
+
+    #[test]
+    fn batch_wire_len_counts_per_item_overhead() {
+        let ring = RingId {
+            seq: 0,
+            rep: NodeId(0),
+        };
+        let frame = |payload| {
+            Frame::Regular(RegularMsg {
+                ring,
+                seq: 1,
+                sender: NodeId(0),
+                payload,
+            })
+        };
+        let single = frame(Payload::App(vec![0; 10])).wire_len();
+        let batch = frame(Payload::Batch(vec![vec![0; 10], vec![0; 10]])).wire_len();
+        // Two 10-byte items in one frame: 32 header + 4 count + 2*(4+10),
+        // versus 2 * (32 + 10) for two singles.
+        assert_eq!(batch, 32 + 4 + 2 * 14);
+        assert!(batch < 2 * single);
+        // A recovered batch carries the same structure plus the 24-byte
+        // recovery envelope.
+        let rec = frame(Payload::Recovered {
+            old_ring: ring,
+            old_seq: 9,
+            original_sender: NodeId(1),
+            data: Box::new(Payload::Batch(vec![vec![0; 10], vec![0; 10]])),
+        })
+        .wire_len();
+        assert_eq!(rec, batch + 24);
     }
 
     #[test]

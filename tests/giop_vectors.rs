@@ -1,0 +1,381 @@
+//! Byte-exact conformance vectors for the GIOP codec (`eternal-giop`).
+//!
+//! Every fixture below is written out by hand from the wire layout
+//! (12-byte header; CDR body aligned relative to the body start), so a
+//! change that silently shifts the encoding — padding, field order,
+//! endianness, length computation — fails against literal bytes, not
+//! just against a round trip through the same code.
+
+use eternal_cdr::Endian;
+use eternal_giop::{
+    CodeSetContext, GiopHeader, GiopMessage, IiopProfile, Ior, MessageType, ReplyMessage,
+    ReplyStatus, RequestMessage, ServiceContextList, TaggedComponent, VendorHandshake,
+    CODESET_ISO_8859_1, CODESET_UTF_16, CONTEXT_CODE_SETS, GIOP_HEADER_LEN, TAG_CODE_SETS,
+    TAG_INTERNET_IOP,
+};
+
+// ---------------------------------------------------------------------
+// Headers: GIOP 1.0 and 1.2, both byte orders, fragment flag.
+// ---------------------------------------------------------------------
+
+#[test]
+fn giop_1_0_request_header_big_endian() {
+    let header = GiopHeader {
+        version: (1, 0),
+        endian: Endian::Big,
+        more_fragments: false,
+        message_type: MessageType::Request,
+        body_len: 0x20,
+    };
+    let expected: [u8; 12] = [
+        b'G', b'I', b'O', b'P', // magic
+        0x01, 0x00, // version 1.0
+        0x00, // flags: big-endian, no fragments
+        0x00, // type: Request
+        0x00, 0x00, 0x00, 0x20, // body length, big-endian
+    ];
+    assert_eq!(header.to_bytes(), expected);
+    assert_eq!(GiopHeader::from_bytes(&expected).unwrap(), header);
+}
+
+#[test]
+fn giop_1_2_reply_header_little_endian_with_fragments() {
+    let header = GiopHeader {
+        version: (1, 2),
+        endian: Endian::Little,
+        more_fragments: true,
+        message_type: MessageType::Reply,
+        body_len: 0x0102_0304,
+    };
+    let expected: [u8; 12] = [
+        b'G', b'I', b'O', b'P', 0x01, 0x02, // version 1.2
+        0x03, // flags: little-endian | more-fragments
+        0x01, // type: Reply
+        0x04, 0x03, 0x02, 0x01, // body length, little-endian
+    ];
+    assert_eq!(header.to_bytes(), expected);
+    assert_eq!(GiopHeader::from_bytes(&expected).unwrap(), header);
+}
+
+#[test]
+fn giop_1_2_fragment_header_big_endian() {
+    let header = GiopHeader {
+        version: (1, 2),
+        endian: Endian::Big,
+        more_fragments: true,
+        message_type: MessageType::Fragment,
+        body_len: 8,
+    };
+    let expected: [u8; 12] = [
+        b'G', b'I', b'O', b'P', 0x01, 0x02, 0x02, // flags: big-endian | more-fragments
+        0x07, // type: Fragment
+        0x00, 0x00, 0x00, 0x08,
+    ];
+    assert_eq!(header.to_bytes(), expected);
+    assert_eq!(GiopHeader::from_bytes(&expected).unwrap(), header);
+}
+
+#[test]
+fn giop_1_3_is_rejected() {
+    let mut bytes = GiopHeader::new(MessageType::Request, Endian::Big, 0).to_bytes();
+    bytes[5] = 3;
+    assert!(GiopHeader::from_bytes(&bytes).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Whole messages: header + CDR body, including ServiceContexts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn request_message_golden_vector() {
+    let mut sc = ServiceContextList::new();
+    sc.set(
+        CONTEXT_CODE_SETS,
+        CodeSetContext::default_sets().to_context_data(),
+    );
+    let msg = GiopMessage::Request(RequestMessage {
+        service_context: sc,
+        request_id: 42,
+        response_expected: true,
+        object_key: b"key!".to_vec(),
+        operation: "ping".to_owned(),
+        body: vec![1, 2],
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        // -- header --
+        b'G', b'I', b'O', b'P', 0x01, 0x01, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x3A,                   // body length = 58
+        // -- body (positions relative to body start) --
+        0x00, 0x00, 0x00, 0x01,                   //  0: 1 service context
+        0x00, 0x00, 0x00, 0x01,                   //  4: id = CONTEXT_CODE_SETS
+        0x00, 0x00, 0x00, 0x0C,                   //  8: context data, 12 bytes
+        0x00,                                     // 12: encapsulation flag (big)
+        0x00, 0x00, 0x00,                         // 13: pad to 4
+        0x00, 0x01, 0x00, 0x01,                   // 16: char  = ISO 8859-1
+        0x00, 0x01, 0x01, 0x09,                   // 20: wchar = UTF-16
+        0x00, 0x00, 0x00, 0x2A,                   // 24: request_id = 42
+        0x01,                                     // 28: response_expected
+        0x00, 0x00, 0x00,                         // 29: pad to 4
+        0x00, 0x00, 0x00, 0x04,                   // 32: object key length
+        b'k', b'e', b'y', b'!',                   // 36
+        0x00, 0x00, 0x00, 0x05,                   // 40: operation length (incl NUL)
+        b'p', b'i', b'n', b'g', 0x00,             // 44
+        0x00, 0x00, 0x00,                         // 49: pad to 4
+        0x00, 0x00, 0x00, 0x02,                   // 52: body length
+        0x01, 0x02,                               // 56
+    ];
+    assert_eq!(msg.to_bytes().unwrap(), expected);
+    assert_eq!(GiopMessage::from_bytes(&expected).unwrap(), msg);
+}
+
+#[test]
+fn reply_message_golden_vector() {
+    let msg = GiopMessage::Reply(ReplyMessage {
+        service_context: ServiceContextList::new(),
+        request_id: 7,
+        reply_status: ReplyStatus::NoException,
+        body: vec![0xAA, 0xBB, 0xCC],
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        b'G', b'I', b'O', b'P', 0x01, 0x01, 0x00, 0x01,
+        0x00, 0x00, 0x00, 0x13,                   // body length = 19
+        0x00, 0x00, 0x00, 0x00,                   // empty service-context list
+        0x00, 0x00, 0x00, 0x07,                   // request_id = 7
+        0x00, 0x00, 0x00, 0x00,                   // status = NO_EXCEPTION
+        0x00, 0x00, 0x00, 0x03,                   // body length
+        0xAA, 0xBB, 0xCC,
+    ];
+    assert_eq!(msg.to_bytes().unwrap(), expected);
+    assert_eq!(GiopMessage::from_bytes(&expected).unwrap(), msg);
+}
+
+#[test]
+fn fragment_message_golden_vector() {
+    let msg = GiopMessage::Fragment {
+        more: true,
+        data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+    };
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        b'G', b'I', b'O', b'P', 0x01, 0x01,
+        0x02,                                     // flags: big-endian | more-fragments
+        0x07,                                     // type: Fragment
+        0x00, 0x00, 0x00, 0x04,
+        0xDE, 0xAD, 0xBE, 0xEF,                   // raw continuation bytes
+    ];
+    assert_eq!(msg.to_bytes().unwrap(), expected);
+    assert_eq!(GiopMessage::from_bytes(&expected).unwrap(), msg);
+}
+
+#[test]
+fn cancel_request_golden_vector() {
+    let msg = GiopMessage::CancelRequest { request_id: 5 };
+    let expected: Vec<u8> = vec![
+        b'G', b'I', b'O', b'P', 0x01, 0x01, 0x00, 0x02, //
+        0x00, 0x00, 0x00, 0x04, //
+        0x00, 0x00, 0x00, 0x05,
+    ];
+    assert_eq!(msg.to_bytes().unwrap(), expected);
+    assert_eq!(GiopMessage::from_bytes(&expected).unwrap(), msg);
+}
+
+/// A little-endian body must decode to the same message the big-endian
+/// encoder produces: "receiver makes it right".
+#[test]
+fn little_endian_reply_body_decodes() {
+    #[rustfmt::skip]
+    let wire: Vec<u8> = vec![
+        b'G', b'I', b'O', b'P', 0x01, 0x01,
+        0x01,                                     // flags: little-endian
+        0x01,                                     // type: Reply
+        0x13, 0x00, 0x00, 0x00,                   // body length = 19, little-endian
+        0x00, 0x00, 0x00, 0x00,                   // empty service-context list
+        0x07, 0x00, 0x00, 0x00,                   // request_id = 7
+        0x00, 0x00, 0x00, 0x00,                   // status = NO_EXCEPTION
+        0x03, 0x00, 0x00, 0x00,                   // body length
+        0xAA, 0xBB, 0xCC,
+    ];
+    let expected = GiopMessage::Reply(ReplyMessage {
+        service_context: ServiceContextList::new(),
+        request_id: 7,
+        reply_status: ReplyStatus::NoException,
+        body: vec![0xAA, 0xBB, 0xCC],
+    });
+    assert_eq!(GiopMessage::from_bytes(&wire).unwrap(), expected);
+}
+
+// ---------------------------------------------------------------------
+// Service-context payloads.
+// ---------------------------------------------------------------------
+
+#[test]
+fn code_set_context_golden_vector() {
+    let cs = CodeSetContext::default_sets();
+    assert_eq!(cs.char_data, CODESET_ISO_8859_1);
+    assert_eq!(cs.wchar_data, CODESET_UTF_16);
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        0x00,                                     // encapsulation flag: big-endian
+        0x00, 0x00, 0x00,                         // pad to 4
+        0x00, 0x01, 0x00, 0x01,                   // char  = ISO 8859-1
+        0x00, 0x01, 0x01, 0x09,                   // wchar = UTF-16
+    ];
+    assert_eq!(cs.to_context_data(), expected);
+    assert_eq!(CodeSetContext::from_context_data(&expected).unwrap(), cs);
+}
+
+#[test]
+fn code_set_context_little_endian_payload_decodes() {
+    #[rustfmt::skip]
+    let wire: Vec<u8> = vec![
+        0x01,                                     // encapsulation flag: little-endian
+        0x00, 0x00, 0x00,
+        0x01, 0x00, 0x01, 0x00,                   // char  = ISO 8859-1
+        0x09, 0x01, 0x01, 0x00,                   // wchar = UTF-16
+    ];
+    assert_eq!(
+        CodeSetContext::from_context_data(&wire).unwrap(),
+        CodeSetContext::default_sets()
+    );
+}
+
+#[test]
+fn vendor_handshake_golden_vector() {
+    let hs = VendorHandshake {
+        full_key: vec![0x4B],
+        short_key: 99,
+    };
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        0x00,                                     // encapsulation flag: big-endian
+        0x00, 0x00, 0x00,                         // pad to 4
+        0x00, 0x00, 0x00, 0x01,                   // full key length
+        0x4B,                                     // full key
+        0x00, 0x00, 0x00,                         // pad to 4
+        0x00, 0x00, 0x00, 0x63,                   // short key = 99
+    ];
+    assert_eq!(hs.to_context_data(), expected);
+    assert_eq!(VendorHandshake::from_context_data(&expected).unwrap(), hs);
+}
+
+// ---------------------------------------------------------------------
+// IORs.
+// ---------------------------------------------------------------------
+
+fn sample_ior() -> Ior {
+    Ior {
+        type_id: "IDL:T:1.0".to_owned(),
+        profile: IiopProfile {
+            version: (1, 1),
+            host: "P1".to_owned(),
+            port: 0x0A0B,
+            object_key: b"key!".to_vec(),
+            components: vec![TaggedComponent {
+                tag: TAG_CODE_SETS,
+                data: vec![0xDE, 0xAD],
+            }],
+        },
+    }
+}
+
+#[rustfmt::skip]
+fn sample_ior_bytes() -> Vec<u8> {
+    vec![
+        0x00,                                     //  0: flag: big-endian
+        0x00, 0x00, 0x00,                         //  1: pad to 4
+        0x00, 0x00, 0x00, 0x0A,                   //  4: type_id length (incl NUL)
+        b'I', b'D', b'L', b':', b'T', b':', b'1', b'.', b'0', 0x00,
+        0x00, 0x00,                               // 18: pad to 4
+        0x00, 0x00, 0x00, 0x01,                   // 20: 1 profile
+        0x00, 0x00, 0x00, 0x00,                   // 24: TAG_INTERNET_IOP
+        0x00, 0x00, 0x00, 0x26,                   // 28: profile encapsulation, 38 bytes
+        // -- encapsulation (positions relative to its own start) --
+        0x00,                                     //  0: flag: big-endian
+        0x01, 0x01,                               //  1: IIOP 1.1
+        0x00,                                     //  3: pad to 4
+        0x00, 0x00, 0x00, 0x03,                   //  4: host length (incl NUL)
+        b'P', b'1', 0x00,                         //  8
+        0x00,                                     // 11: pad to 2
+        0x0A, 0x0B,                               // 12: port
+        0x00, 0x00,                               // 14: pad to 4
+        0x00, 0x00, 0x00, 0x04,                   // 16: object key length
+        b'k', b'e', b'y', b'!',                   // 20
+        0x00, 0x00, 0x00, 0x01,                   // 24: 1 component
+        0x00, 0x00, 0x00, 0x01,                   // 28: TAG_CODE_SETS
+        0x00, 0x00, 0x00, 0x02,                   // 32: component length
+        0xDE, 0xAD,                               // 36
+    ]
+}
+
+#[test]
+fn ior_golden_vector() {
+    let ior = sample_ior();
+    let expected = sample_ior_bytes();
+    assert_eq!(ior.to_cdr_bytes().unwrap(), expected);
+    let back = Ior::from_cdr_bytes(&expected).unwrap();
+    assert_eq!(back, ior);
+    assert_eq!(
+        back.find_component(TAG_CODE_SETS).unwrap().data,
+        [0xDE, 0xAD]
+    );
+    assert_eq!(ior.profile.components[0].tag, TAG_CODE_SETS);
+    assert_eq!(TAG_INTERNET_IOP, 0);
+}
+
+#[test]
+fn stringified_ior_is_lowercase_hex_of_the_cdr_bytes() {
+    let ior = sample_ior();
+    let s = ior.to_string_ior().unwrap();
+    let bytes = sample_ior_bytes();
+    assert!(s.starts_with("IOR:"));
+    assert_eq!(s.len(), 4 + bytes.len() * 2);
+    let mut expected = String::from("IOR:");
+    for b in &bytes {
+        expected.push_str(&format!("{b:02x}"));
+    }
+    assert_eq!(s, expected);
+    assert_eq!(Ior::from_string_ior(&s).unwrap(), ior);
+}
+
+// ---------------------------------------------------------------------
+// Pooled encoders must not perturb the wire form.
+// ---------------------------------------------------------------------
+
+/// The encode path draws buffers from the thread-local pool; output must
+/// be byte-identical whether a buffer is freshly allocated or recycled
+/// (recycled buffers could otherwise leak stale bytes into padding).
+#[test]
+fn pooled_encoders_are_byte_stable() {
+    let mut sc = ServiceContextList::new();
+    sc.set(
+        CONTEXT_CODE_SETS,
+        CodeSetContext::default_sets().to_context_data(),
+    );
+    let msg = GiopMessage::Request(RequestMessage {
+        service_context: sc,
+        request_id: 350,
+        response_expected: true,
+        object_key: b"bank/account-7".to_vec(),
+        operation: "deposit".to_owned(),
+        body: vec![9; 33],
+    });
+    eternal_cdr::pool::reset();
+    let cold = msg.to_bytes().unwrap();
+    // Recycle so the next encode reuses this very buffer.
+    eternal_cdr::pool::recycle(cold.clone());
+    let warm = msg.to_bytes().unwrap();
+    assert_eq!(cold, warm, "recycled buffer changed the encoding");
+    let stats = eternal_cdr::pool::stats();
+    assert!(stats.reused > 0, "second encode should hit the pool");
+    // Ditto for the IOR path, which nests an encapsulation (and thus a
+    // second pooled buffer) inside the outer encoder.
+    let ior = sample_ior();
+    let a = ior.to_cdr_bytes().unwrap();
+    eternal_cdr::pool::recycle(a.clone());
+    let b = ior.to_cdr_bytes().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a, sample_ior_bytes());
+    assert_eq!(GIOP_HEADER_LEN, 12);
+}
