@@ -18,7 +18,19 @@
 //! ```
 //!
 //! It prints the campaign summary and exits nonzero if any invariant
-//! was violated, so CI can gate on it.
+//! was violated, so CI can gate on it. `--json <path>` additionally
+//! writes the summary as JSON; `--causal` records causal traces and
+//! dumps `flight_recorder.json` on violation; `--force-violation`
+//! injects a synthetic violation (flight-recorder path testing).
+//!
+//! `trace` runs the causal-tracing scenario (see `docs/TRACING.md`),
+//! writes Chrome trace-event JSON (default `TRACE_eternal.json`,
+//! override with `--json <path>`), prints a sample span tree, and exits
+//! nonzero if any replica disagreed on the total order:
+//!
+//! ```sh
+//! cargo run --release -p eternal-bench --bin repro -- trace --seed 42
+//! ```
 //!
 //! `bench` runs the deterministic benchmark suite (also outside the
 //! everything-run; see `docs/BENCHMARKS.md`), writing
@@ -34,9 +46,9 @@ use eternal::chaos::{run_campaign, CampaignConfig};
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
     ablation_run, checkpoint_sweep_point, fig6_point, fig6_timeline, frag_threshold,
-    overhead_point, replica_count_point, style_run, suite,
+    overhead_point, replica_count_point, style_run, suite, trace_run,
 };
-use eternal_obs::timeline::render_breakdown_table;
+use eternal_obs::timeline::{render_breakdown_json, render_breakdown_table};
 use eternal_sim::Duration;
 
 /// Experiments runnable by name (an empty argument list runs them all).
@@ -54,7 +66,9 @@ const EXPERIMENTS: [&str; 9] = [
 
 fn usage() {
     eprintln!(
-        "usage: repro [{}] | repro bench [--quick] | repro chaos [--seed N] [--steps M]",
+        "usage: repro [{}] | repro bench [--quick] | \
+         repro chaos [--seed N] [--steps M] [--json PATH] [--causal] [--force-violation] | \
+         repro trace [--seed N] [--json PATH] | repro timeline [--json PATH]",
         EXPERIMENTS.join("|")
     );
 }
@@ -66,6 +80,26 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "bench") {
         std::process::exit(bench(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "trace") {
+        std::process::exit(trace(&args[1..]));
+    }
+    // `timeline --json PATH` takes a flag; peel it off before the
+    // experiment-name scan.
+    let mut timeline_json: Option<String> = None;
+    let mut args = args;
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if args.get(i.saturating_sub(1)).map(String::as_str) != Some("timeline") {
+            eprintln!("repro: --json here only applies to the timeline experiment");
+            usage();
+            std::process::exit(2);
+        }
+        if i + 1 >= args.len() {
+            eprintln!("repro: --json needs a path");
+            std::process::exit(2);
+        }
+        timeline_json = Some(args.remove(i + 1));
+        args.remove(i);
     }
     if let Some(unknown) = args.iter().find(|a| !EXPERIMENTS.contains(&a.as_str())) {
         eprintln!("repro: unknown experiment {unknown:?}");
@@ -79,7 +113,7 @@ fn main() {
         fig6();
     }
     if want("timeline") {
-        timeline();
+        timeline(timeline_json.as_deref());
     }
     if want("overhead") {
         overhead();
@@ -108,6 +142,7 @@ fn main() {
 /// same seed always reproduces the same summary byte for byte.
 fn chaos(args: &[String]) -> i32 {
     let mut cfg = CampaignConfig::default();
+    let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let parse = |v: Option<&String>, what: &str| -> Option<u64> {
@@ -126,15 +161,94 @@ fn chaos(args: &[String]) -> i32 {
                 Some(s) => cfg.steps = s as usize,
                 None => return 2,
             },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("chaos: --json needs a path");
+                    return 2;
+                }
+            },
+            "--causal" => cfg.causal = true,
+            "--force-violation" => {
+                cfg.causal = true;
+                cfg.force_violation = true;
+            }
             other => {
-                eprintln!("chaos: unknown flag {other} (expected --seed N / --steps M)");
+                eprintln!(
+                    "chaos: unknown flag {other} (expected --seed N / --steps M / \
+                     --json PATH / --causal / --force-violation)"
+                );
                 return 2;
             }
         }
     }
     let summary = run_campaign(&cfg);
     println!("{summary}");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("chaos: wrote {path}");
+    }
+    if let Some(dump) = &summary.flight_recorder {
+        if let Err(e) = std::fs::write("flight_recorder.json", dump) {
+            eprintln!("chaos: cannot write flight_recorder.json: {e}");
+            return 1;
+        }
+        eprintln!("chaos: wrote flight_recorder.json");
+    }
     i32::from(!summary.passed())
+}
+
+/// `repro -- trace [--seed N] [--json PATH]`: the causal-tracing
+/// scenario of `docs/TRACING.md`. Writes the Chrome trace-event export
+/// (byte-identical per seed), prints one sample span tree, and exits
+/// nonzero if replicas disagreed on the total order.
+fn trace(args: &[String]) -> i32 {
+    let mut seed = 42u64;
+    let mut json_path = String::from("TRACE_eternal.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("trace: --seed needs a numeric seed");
+                    return 2;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = p.clone(),
+                None => {
+                    eprintln!("trace: --json needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("trace: unknown flag {other} (expected --seed N / --json PATH)");
+                return 2;
+            }
+        }
+    }
+    let run = trace_run(seed);
+    println!(
+        "causal trace: seed={seed} spans={} traces={} total_order_violations={}",
+        run.spans,
+        run.trace_count,
+        run.violations.len()
+    );
+    println!("-- sample span tree (first trace) --");
+    print!("{}", run.sample_tree);
+    for v in &run.violations {
+        eprintln!("trace: VIOLATION {v}");
+    }
+    if let Err(e) = std::fs::write(&json_path, &run.chrome_json) {
+        eprintln!("trace: cannot write {json_path}: {e}");
+        return 1;
+    }
+    eprintln!("trace: wrote {json_path}");
+    i32::from(!run.violations.is_empty())
 }
 
 /// `repro -- bench [--quick]`: the deterministic benchmark suite.
@@ -186,7 +300,7 @@ fn fig6() {
     println!();
 }
 
-fn timeline() {
+fn timeline(json_path: Option<&str>) {
     println!("== Figure 6 breakdown: where recovery time goes, per §5.1 phase ==");
     println!("   (same scenario as fig6, observability on; phases tile the episode)");
     let mut timelines = Vec::new();
@@ -195,6 +309,12 @@ fn timeline() {
         timelines.extend(run.timelines);
     }
     print!("{}", render_breakdown_table(&timelines));
+    if let Some(path) = json_path {
+        match std::fs::write(path, render_breakdown_json(&timelines)) {
+            Ok(()) => eprintln!("timeline: wrote {path}"),
+            Err(e) => eprintln!("timeline: cannot write {path}: {e}"),
+        }
+    }
     println!("   (transfer dominates as state grows — fragmentation over the ring;");
     println!("    quiesce + get_state are the state-size-independent floor)");
     println!();

@@ -509,6 +509,61 @@ pub fn replica_count_point(replicas: usize, seed: u64) -> ReplicaCountPoint {
     }
 }
 
+/// Outcome of the end-to-end causal-tracing run behind
+/// `repro -- trace`: the recorder's deterministic exports plus the
+/// cluster-wide total-order verification (see `docs/TRACING.md`).
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// Chrome trace-event JSON of the retained causal history
+    /// (`chrome://tracing` / Perfetto), byte-identical per seed.
+    pub chrome_json: String,
+    /// Structural span-tree signature (invariant under batching).
+    pub tree_signature: String,
+    /// Total-order violations found (empty = the paper's claim holds).
+    pub violations: Vec<String>,
+    /// Causal spans retained.
+    pub spans: usize,
+    /// Distinct traces retained.
+    pub trace_count: usize,
+    /// Indented span tree of the first retained trace, as a sample.
+    pub sample_tree: String,
+}
+
+/// Runs the causal-tracing scenario: a 3-way actively replicated
+/// counter and a streaming client with [`ClusterConfig::causal`] on, so
+/// every invocation is traced from client marshal through Totem
+/// delivery on all three replicas to the reply match.
+pub fn trace_run(seed: u64) -> TraceRun {
+    let config = ClusterConfig {
+        causal: true,
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, seed);
+    let server = cluster.deploy_server("counter", FaultToleranceProperties::active(3), || {
+        Box::new(CounterServant::default())
+    });
+    cluster.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 4))
+    });
+    cluster.run_until_deployed();
+    cluster.run_for(Duration::from_millis(50));
+    let rec = cluster.causal();
+    let ids = rec.trace_ids();
+    let sample_tree = ids
+        .first()
+        .map(|&t| rec.span_tree_text(t))
+        .unwrap_or_default();
+    TraceRun {
+        chrome_json: rec.chrome_trace_json(),
+        tree_signature: rec.tree_signature(),
+        violations: rec.verify_total_order(),
+        spans: rec.len(),
+        trace_count: ids.len(),
+        sample_tree,
+    }
+}
+
 /// The A1/A2 ablation outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct AblationRun {

@@ -11,6 +11,10 @@
 //!   bytes, medium busy time, and the batching counters, and checks
 //!   that the batched run ends with byte-identical replica state and
 //!   at least 25 % fewer Ethernet frames.
+//! * **tracing_overhead** — the throughput workload re-run with causal
+//!   tracing on: wire bytes traced vs untraced, checked against the
+//!   budget documented in `docs/TRACING.md`
+//!   ([`TRACING_WIRE_BUDGET_PCT_X100`]).
 //! * **recovery** — Figure 6 recovery time at three state sizes.
 //! * **allocations** — encode/decode buffer-pool statistics over the
 //!   throughput workload: how many buffer takes were served from the
@@ -30,6 +34,17 @@ use std::fmt::Write;
 
 /// Seed every section runs under.
 pub const SUITE_SEED: u64 = 42;
+
+/// Ceiling on the wire-byte overhead of causal tracing, in hundredths
+/// of a percent (the documented budget of `docs/TRACING.md`): the
+/// traced throughput workload may send at most this much more than the
+/// untraced one. Tracing costs ~72 bytes per traced message
+/// (`TraceTag::WIRE_LEN` in Totem frame metadata plus a 48-byte GIOP
+/// service-context entry), so this small-message workload (~130-byte
+/// IIOP messages) is the worst case — measured ~52%, budgeted 60% so a
+/// regression (double-injected contexts, tagged infrastructure frames)
+/// trips the suite. Larger payloads amortize far better.
+pub const TRACING_WIRE_BUDGET_PCT_X100: u64 = 6_000;
 
 /// The finished suite: the JSON document and any violated invariants.
 #[derive(Debug, Clone)]
@@ -66,9 +81,10 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 /// and drains the traffic completely, so two runs that differ only in
 /// the batching budget are comparable at identical delivered-reply
 /// counts.
-fn throughput_run(budget: usize, limit: u64, seed: u64) -> ThroughputRun {
+fn throughput_run(budget: usize, limit: u64, seed: u64, causal: bool) -> ThroughputRun {
     let mut config = ClusterConfig {
         trace: false,
+        causal,
         ..ClusterConfig::default()
     };
     config.totem.batch_budget_bytes = budget;
@@ -82,7 +98,10 @@ fn throughput_run(budget: usize, limit: u64, seed: u64) -> ThroughputRun {
     cluster.run_until_deployed();
     let deadline = cluster.now() + Duration::from_secs(60);
     loop {
-        cluster.run_for(Duration::from_millis(10));
+        // Fine slices: the loop exits soon after the last reply drains,
+        // so idle token rotations don't blur cross-run wire-byte
+        // comparisons (batched vs unbatched, traced vs untraced).
+        cluster.run_for(Duration::from_millis(1));
         let m = cluster.metrics();
         if m.replies_delivered >= limit && cluster.outstanding_calls() == 0 {
             break;
@@ -162,8 +181,8 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // --- small-message throughput: batching on vs off ---
     let limit: u64 = if quick { 150 } else { 400 };
     let default_budget = eternal_totem::TotemConfig::default().batch_budget_bytes;
-    let batched = throughput_run(default_budget, limit, seed);
-    let unbatched = throughput_run(0, limit, seed);
+    let batched = throughput_run(default_budget, limit, seed, false);
+    let unbatched = throughput_run(0, limit, seed, false);
     if batched.replies != unbatched.replies {
         violations.push(format!(
             "throughput: delivered-reply counts differ (batched {} vs unbatched {})",
@@ -188,6 +207,38 @@ pub fn run_suite(quick: bool) -> BenchReport {
     }
     let byte_reduction = reduction_pct_x100(unbatched.wire_bytes, batched.wire_bytes);
 
+    // --- causal-tracing wire overhead (docs/TRACING.md budget) ---
+    let traced = throughput_run(default_budget, limit, seed, true);
+    if traced.replies != batched.replies {
+        violations.push(format!(
+            "tracing: delivered-reply counts differ (traced {} vs untraced {})",
+            traced.replies, batched.replies
+        ));
+    }
+    if traced.state_digest != batched.state_digest {
+        violations.push(format!(
+            "tracing: final replica state differs (traced {:x} vs untraced {:x})",
+            traced.state_digest, batched.state_digest
+        ));
+    }
+    let tracing_overhead = traced
+        .wire_bytes
+        .saturating_sub(batched.wire_bytes)
+        .saturating_mul(10_000)
+        / batched.wire_bytes.max(1);
+    if tracing_overhead > TRACING_WIRE_BUDGET_PCT_X100 {
+        violations.push(format!(
+            "tracing: wire-byte overhead {}.{:02}% exceeds the {}.{:02}% budget \
+             (traced {} vs untraced {})",
+            tracing_overhead / 100,
+            tracing_overhead % 100,
+            TRACING_WIRE_BUDGET_PCT_X100 / 100,
+            TRACING_WIRE_BUDGET_PCT_X100 % 100,
+            traced.wire_bytes,
+            batched.wire_bytes
+        ));
+    }
+
     // --- recovery time at three state sizes (Figure 6) ---
     let sizes: [usize; 3] = if quick {
         [1_000, 20_000, 60_000]
@@ -209,7 +260,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // pool statistics: deterministic allocation counts without any
     // allocator hooks.
     eternal_cdr::pool::reset();
-    let _ = throughput_run(default_budget, limit, seed);
+    let _ = throughput_run(default_budget, limit, seed, false);
     let pool = eternal_cdr::pool::stats();
     let reuse_pct_x100 = (pool.reused * 10_000).checked_div(pool.takes).unwrap_or(0);
     if pool.reused == 0 {
@@ -219,7 +270,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // --- render (fixed key order, integers and strings only) ---
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"quick\": {},", u8::from(quick));
     let _ = writeln!(
@@ -243,6 +294,12 @@ pub fn run_suite(quick: bool) -> BenchReport {
         "    \"wire_byte_reduction_pct_x100\": {byte_reduction}"
     );
     out.push_str("  },\n");
+    let _ = writeln!(
+        out,
+        "  \"tracing_overhead\": {{\"traced_wire_bytes\": {}, \"untraced_wire_bytes\": {}, \
+         \"overhead_pct_x100\": {}, \"budget_pct_x100\": {}}},",
+        traced.wire_bytes, batched.wire_bytes, tracing_overhead, TRACING_WIRE_BUDGET_PCT_X100
+    );
     out.push_str("  \"recovery\": [\n");
     for (i, p) in recovery.iter().enumerate() {
         let _ = write!(
@@ -293,8 +350,8 @@ mod tests {
 
     #[test]
     fn batching_bends_the_frame_curve() {
-        let batched = throughput_run(1408, 150, 9);
-        let unbatched = throughput_run(0, 150, 9);
+        let batched = throughput_run(1408, 150, 9, false);
+        let unbatched = throughput_run(0, 150, 9, false);
         assert_eq!(batched.replies, unbatched.replies);
         assert_eq!(batched.state_digest, unbatched.state_digest);
         assert!(

@@ -41,6 +41,7 @@ use eternal_sim::rng::SimRng;
 use eternal_sim::{Duration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -116,6 +117,17 @@ pub struct CampaignConfig {
     /// default). The invariants must hold at any budget — the batching
     /// test drives the same campaign with batching on and off.
     pub batch_budget_bytes: Option<usize>,
+    /// Record causal traces during the campaign, arming the flight
+    /// recorder: when any invariant fires, the summary carries the
+    /// `flight_recorder.json` dump of the last spans before the
+    /// violation. Off by default — traced frames carry extra wire
+    /// bytes, so this is a distinct (still deterministic) campaign.
+    pub causal: bool,
+    /// Inject one synthetic invariant violation at the end of the run,
+    /// regardless of what the campaign observed. Exists to exercise the
+    /// violation → flight-recorder path end to end (the CI trace-smoke
+    /// job asserts the dump is well-formed).
+    pub force_violation: bool,
 }
 
 impl Default for CampaignConfig {
@@ -131,6 +143,8 @@ impl Default for CampaignConfig {
             settle_cap: Duration::from_secs(3),
             dedup_resident_cap: 8_192,
             batch_budget_bytes: None,
+            causal: false,
+            force_violation: false,
         }
     }
 }
@@ -183,12 +197,80 @@ pub struct CampaignSummary {
     pub invariant_checks: u64,
     /// Violations, in discovery order.
     pub violations: Vec<Violation>,
+    /// The post-mortem flight-recorder dump: present when the campaign
+    /// ran with [`CampaignConfig::causal`] and at least one invariant
+    /// was violated. `repro -- chaos` writes it to
+    /// `flight_recorder.json`.
+    pub flight_recorder: Option<String>,
 }
 
 impl CampaignSummary {
     /// Whether every invariant held at every quiescent point.
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Machine-readable rendering of the summary (the
+    /// `repro -- chaos --json` export; the flight-recorder dump is a
+    /// separate file and is not embedded). Byte-deterministic.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"steps\": {},", self.steps);
+        let _ = writeln!(out, "  \"final_time_ns\": {},", self.final_time.as_nanos());
+        let faults = self
+            .faults
+            .iter()
+            .map(|(name, n)| format!("\"{name}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  \"faults\": {{{faults}}},");
+        let _ = writeln!(
+            out,
+            "  \"requests_dispatched\": {},",
+            self.requests_dispatched
+        );
+        let _ = writeln!(out, "  \"replies_delivered\": {},", self.replies_delivered);
+        let _ = writeln!(
+            out,
+            "  \"duplicates_suppressed\": {},",
+            self.duplicates_suppressed
+        );
+        let _ = writeln!(
+            out,
+            "  \"recoveries_completed\": {},",
+            self.recoveries_completed
+        );
+        let _ = writeln!(
+            out,
+            "  \"dedup_gaps_skipped\": {},",
+            self.dedup_gaps_skipped
+        );
+        let _ = writeln!(out, "  \"invariant_checks\": {},", self.invariant_checks);
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"step\": {}, \"invariant\": \"{}\", \"detail\": \"{}\"}}",
+                    v.step,
+                    v.invariant,
+                    esc(&v.detail)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  \"violations\": [{violations}],");
+        let _ = writeln!(
+            out,
+            "  \"passed\": {}",
+            if self.passed() { "true" } else { "false" }
+        );
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -276,6 +358,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     if let Some(budget) = cfg.batch_budget_bytes {
         cluster_cfg.totem.batch_budget_bytes = budget;
     }
+    cluster_cfg.causal = cfg.causal;
     let cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
     let mut campaign = Campaign {
         cfg,
@@ -781,6 +864,24 @@ impl Campaign<'_> {
             .iter()
             .map(|&n| self.cluster.mechanisms(n).dedup_gaps_skipped())
             .sum();
+        let mut violations = self.violations;
+        if self.cfg.force_violation {
+            violations.push(Violation {
+                step: self.cfg.steps,
+                invariant: "forced",
+                detail: "synthetic violation injected by force_violation".into(),
+            });
+        }
+        let flight_recorder = if self.cfg.causal && !violations.is_empty() {
+            let reason = violations
+                .iter()
+                .map(Violation::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            Some(self.cluster.causal().flight_recorder_json(&reason))
+        } else {
+            None
+        };
         CampaignSummary {
             seed: self.cfg.seed,
             steps: self.cfg.steps,
@@ -792,7 +893,8 @@ impl Campaign<'_> {
             recoveries_completed: m.recoveries_completed,
             dedup_gaps_skipped,
             invariant_checks: self.invariant_checks,
-            violations: self.violations,
+            violations,
+            flight_recorder,
         }
     }
 }

@@ -11,12 +11,14 @@
 //! resource usage per replication style).
 
 use crate::app::ClientApp;
+use crate::causal::{self, HopCtx};
 use crate::gid::{ConnectionName, Direction, GroupId, TransferId};
 use crate::manager::{ReplicationManager, ResourceManager};
 use crate::mechanisms::{GroupKind, GroupMeta, MechConfig, Mechanisms, Out};
 use crate::message::{fragment_eternal, EternalMessage, EternalReassembler, RetrievalPurpose};
 use crate::metrics::{Metrics, RecoveryRecord};
 use crate::properties::{FaultToleranceProperties, ReplicationStyle};
+use eternal_obs::causal::{CausalRecorder, Hop, OrderPos, TraceTag};
 use eternal_obs::timeline::PhaseSpan;
 use eternal_obs::{EventKind, MetricsRegistry, RecoveryPhase, RecoveryTimeline};
 use eternal_orb::servant::CheckpointableServant;
@@ -49,6 +51,15 @@ pub struct ClusterConfig {
     pub trace: bool,
     /// Ring-buffer capacity of the trace (drop-oldest beyond it).
     pub trace_capacity: usize,
+    /// Record end-to-end causal spans (marshal → pack → total-order
+    /// delivery → dispatch/recovery hops) and carry [`TraceTag`]s on the
+    /// wire. Off by default: tracing adds `TraceTag::WIRE_LEN` bytes to
+    /// every traced frame, so enabling it changes network timing (see
+    /// `docs/TRACING.md` for the budget).
+    pub causal: bool,
+    /// Ring-buffer capacity of the causal recorder (drop-oldest beyond
+    /// it — the flight-recorder bound).
+    pub causal_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -62,6 +73,8 @@ impl Default for ClusterConfig {
             auto_recover: true,
             trace: true,
             trace_capacity: eternal_obs::trace::DEFAULT_CAPACITY,
+            causal: false,
+            causal_capacity: eternal_obs::causal::DEFAULT_CAUSAL_CAPACITY,
         }
     }
 }
@@ -92,6 +105,7 @@ enum Event {
     EternalMulticast {
         src: NodeId,
         message: EternalMessage,
+        trace: TraceTag,
     },
     CheckpointTick {
         group: GroupId,
@@ -165,6 +179,13 @@ pub struct Cluster {
     upgrades: BTreeMap<GroupId, Vec<NodeId>>,
     metrics: Metrics,
     trace: Trace,
+    /// End-to-end causal span recorder (cluster-global, so span ids are
+    /// unique across processors and the total-order check can compare
+    /// deliveries of the same frame on different nodes).
+    causal: CausalRecorder,
+    /// Per-processor Lamport clocks stamped into causal hops and wire
+    /// tags (receive rule: `max(local, tag.clock) + 1`).
+    lamport: BTreeMap<NodeId, u64>,
     registry: MetricsRegistry,
     /// Last time the rotating token arrived at each live processor, for
     /// the token-rotation-time histogram.
@@ -217,6 +238,12 @@ impl Cluster {
             } else {
                 Trace::disabled()
             },
+            causal: if config.causal {
+                CausalRecorder::new(config.causal_capacity)
+            } else {
+                CausalRecorder::disabled()
+            },
+            lamport: BTreeMap::new(),
             registry: MetricsRegistry::new(),
             last_token_at: HashMap::new(),
             episodes: BTreeMap::new(),
@@ -256,6 +283,12 @@ impl Cluster {
     /// The structured trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The causal span recorder (empty unless
+    /// [`ClusterConfig::causal`] was set).
+    pub fn causal(&self) -> &CausalRecorder {
+        &self.causal
     }
 
     /// Records an event in the cluster trace on behalf of an external
@@ -317,7 +350,7 @@ impl Cluster {
             .map(|(&id, _)| id)
             .collect();
         for group in client_groups {
-            self.do_multicast(src, EternalMessage::LoadTick { group }, now);
+            self.do_multicast(src, EternalMessage::LoadTick { group }, now, TraceTag::NONE);
         }
     }
 
@@ -732,8 +765,14 @@ impl Cluster {
             let nodes: Vec<NodeId> = self.mechs.keys().copied().collect();
             for node in nodes {
                 if self.is_alive(node) {
-                    let outs = self.mechs.get_mut(&node).expect("known").start_clients();
                     let now = self.now();
+                    let clock = self.lamport.get(&node).copied().unwrap_or(0);
+                    let mut ctx = HopCtx::new(&mut self.causal, node.0 as u64, 0, 0, clock);
+                    let outs = self
+                        .mechs
+                        .get_mut(&node)
+                        .expect("known")
+                        .start_clients(now, &mut ctx);
                     self.process_outs(node, outs, now, Duration::ZERO);
                 }
             }
@@ -945,6 +984,7 @@ impl Cluster {
                 node,
                 EternalMessage::ReplicaFault { group, host: node },
                 now,
+                TraceTag::NONE,
             );
         }
     }
@@ -984,7 +1024,11 @@ impl Cluster {
                     self.apply_totem_actions(node, actions);
                 }
             }
-            Event::EternalMulticast { src, message } => self.do_multicast(src, message, now),
+            Event::EternalMulticast {
+                src,
+                message,
+                trace,
+            } => self.do_multicast(src, message, now, trace),
             Event::CheckpointTick { group } => {
                 if let Some(info) = self.groups.get(&group) {
                     let interval = info.props.checkpoint_interval;
@@ -1030,7 +1074,7 @@ impl Cluster {
         }
     }
 
-    fn do_multicast(&mut self, src: NodeId, message: EternalMessage, now: SimTime) {
+    fn do_multicast(&mut self, src: NodeId, message: EternalMessage, now: SimTime, tag: TraceTag) {
         if !self.is_alive(src) {
             return;
         }
@@ -1044,6 +1088,38 @@ impl Cluster {
             // Round-trip timing starts at the first copy's send.
             self.issue_times.entry((*conn, *op_seq)).or_insert(now);
         }
+        // Send-side causal bookkeeping: bump the sender's Lamport clock,
+        // root an untagged-but-traceable message (one reaching the send
+        // path without an explicit tag, e.g. a recovery re-send) in a
+        // fresh Marshal span, and stamp one Pack hop per Totem fragment.
+        let mut tag = tag;
+        if self.causal.is_enabled() {
+            let clock = self.lamport.entry(src).or_insert(0);
+            *clock = (*clock).max(tag.clock) + 1;
+            let clock = *clock;
+            if tag.is_none() {
+                let tid = causal::trace_id_of(&message);
+                if tid != 0 {
+                    let span = self.causal.record(
+                        now,
+                        src.0 as u64,
+                        tid,
+                        0,
+                        Hop::Marshal,
+                        clock,
+                        None,
+                        message.kind(),
+                    );
+                    tag = TraceTag {
+                        trace_id: tid,
+                        parent_span: span,
+                        clock,
+                    };
+                }
+            } else {
+                tag.clock = clock;
+            }
+        }
         let encoded = message.to_bytes();
         let max_payload = self.net.config().frame_payload().saturating_sub(32);
         let msg_id = {
@@ -1051,8 +1127,34 @@ impl Cluster {
             *id += 1;
             *id
         };
-        for frag in fragment_eternal(src, msg_id, &encoded, max_payload) {
-            let actions = self.totem.get_mut(&src).expect("known").broadcast(frag);
+        for (i, frag) in fragment_eternal(src, msg_id, &encoded, max_payload)
+            .into_iter()
+            .enumerate()
+        {
+            let frag_tag = if tag.is_none() {
+                TraceTag::NONE
+            } else {
+                let span = self.causal.record(
+                    now,
+                    src.0 as u64,
+                    tag.trace_id,
+                    tag.parent_span,
+                    Hop::Pack,
+                    tag.clock,
+                    None,
+                    format!("frag {i}"),
+                );
+                TraceTag {
+                    trace_id: tag.trace_id,
+                    parent_span: span,
+                    clock: tag.clock,
+                }
+            };
+            let actions = self
+                .totem
+                .get_mut(&src)
+                .expect("known")
+                .broadcast_traced(frag, frag_tag);
             self.apply_totem_actions(src, actions);
         }
         eternal_cdr::pool::recycle(encoded);
@@ -1106,7 +1208,38 @@ impl Cluster {
     fn on_totem_delivery(&mut self, node: NodeId, delivery: TotemDelivery) {
         let now = self.sched.now();
         match delivery {
-            TotemDelivery::Message { data, .. } => {
+            TotemDelivery::Message {
+                ring,
+                seq,
+                data,
+                trace: tag,
+                ..
+            } => {
+                // Receive-side causal bookkeeping: Lamport receive rule,
+                // then a Deliver span carrying the total-order position
+                // (the cross-replica agreement check keys on it) and a
+                // Reassemble span once a full Eternal message pops out.
+                let mut chain = (0u64, 0u64, 0u64); // (trace_id, parent, clock)
+                if self.causal.is_enabled() && !tag.is_none() {
+                    let clock = self.lamport.entry(node).or_insert(0);
+                    *clock = (*clock).max(tag.clock) + 1;
+                    let clock = *clock;
+                    let span = self.causal.record(
+                        now,
+                        node.0 as u64,
+                        tag.trace_id,
+                        tag.parent_span,
+                        Hop::Deliver,
+                        clock,
+                        Some(OrderPos {
+                            ring_rep: ring.rep.0 as u64,
+                            ring_seq: ring.seq,
+                            seq,
+                        }),
+                        format!("{ring} seq {seq}"),
+                    );
+                    chain = (tag.trace_id, span, clock);
+                }
                 let pushed = self.reasm.get_mut(&node).expect("known").push(&data);
                 eternal_cdr::pool::recycle(data);
                 match pushed {
@@ -1114,11 +1247,26 @@ impl Cluster {
                         self.digest_delivery(node, &message);
                         self.observe_recovery_message(node, &message, now);
                         self.resource_manager_hook(node, &message, now);
+                        if chain.0 != 0 {
+                            let span = self.causal.record(
+                                now,
+                                node.0 as u64,
+                                chain.0,
+                                chain.1,
+                                Hop::Reassemble,
+                                chain.2,
+                                None,
+                                message.kind(),
+                            );
+                            chain.1 = span;
+                        }
+                        let mut ctx =
+                            HopCtx::new(&mut self.causal, node.0 as u64, chain.0, chain.1, chain.2);
                         let outs = self
                             .mechs
                             .get_mut(&node)
                             .expect("known")
-                            .on_delivered(message, now);
+                            .on_delivered(message, now, &mut ctx);
                         self.process_outs(node, outs, now, Duration::ZERO);
                     }
                     Ok(None) => {}
@@ -1154,11 +1302,13 @@ impl Cluster {
                 if members.first() == Some(&node) {
                     self.resource_manager_config_change(&members, now);
                 }
+                let clock = self.lamport.get(&node).copied().unwrap_or(0);
+                let mut ctx = HopCtx::new(&mut self.causal, node.0 as u64, 0, 0, clock);
                 let outs = self
                     .mechs
                     .get_mut(&node)
                     .expect("known")
-                    .on_config_change(&members);
+                    .on_config_change(&members, now, &mut ctx);
                 self.process_outs(node, outs, now, Duration::ZERO);
             }
         }
@@ -1291,10 +1441,18 @@ impl Cluster {
     fn process_outs(&mut self, node: NodeId, outs: Vec<Out>, now: SimTime, extra: Duration) {
         for out in outs {
             match out {
-                Out::Multicast { delay, message } => {
+                Out::Multicast {
+                    delay,
+                    message,
+                    trace,
+                } => {
                     self.sched.schedule_at(
                         now + delay + extra,
-                        Event::EternalMulticast { src: node, message },
+                        Event::EternalMulticast {
+                            src: node,
+                            message,
+                            trace,
+                        },
                     );
                 }
                 Out::ReplyDelivered { conn, op_seq } => {

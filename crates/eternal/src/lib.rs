@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod causal;
 pub mod chaos;
 pub mod cluster;
 pub mod gid;

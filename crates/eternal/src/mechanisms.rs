@@ -27,8 +27,9 @@
 //!   matches Eternal's use of its own connections for its own traffic.
 
 use crate::app::{AppInvocation, ClientApp};
+use crate::causal::{iiop_trace_id, HopCtx};
 use crate::gid::{ConnectionName, Direction, GroupId, OperationId, TransferId};
-use crate::interceptor::Interceptor;
+use crate::interceptor::{inject_trace_context, Interceptor};
 use crate::message::{EternalMessage, RetrievalPurpose};
 use crate::properties::{FaultToleranceProperties, ReplicationStyle};
 use crate::recovery::holding::{HeldEntry, HoldingQueue};
@@ -37,7 +38,8 @@ use crate::recovery::state3::{
 };
 use crate::recovery::{CheckpointLog, DuplicateSuppressor, OrbStateObserver, QuiescenceTracker};
 use eternal_cdr::Any;
-use eternal_giop::GiopMessage;
+use eternal_giop::{GiopMessage, TraceContext};
+use eternal_obs::causal::{Hop, TraceTag};
 use eternal_orb::servant::CheckpointableServant;
 use eternal_orb::{ObjectKey, Orb};
 use eternal_sim::net::NodeId;
@@ -54,6 +56,11 @@ pub enum Out {
         delay: Duration,
         /// The message.
         message: EternalMessage,
+        /// Causal tag of the chain this multicast extends
+        /// ([`TraceTag::NONE`] for untraced infrastructure chatter; the
+        /// cluster roots a fresh chain for traceable messages that
+        /// arrive untagged).
+        trace: TraceTag,
     },
     /// A reply was delivered into a local client application.
     ReplyDelivered {
@@ -157,6 +164,10 @@ struct HeldIiop {
     direction: Direction,
     op_seq: u32,
     bytes: Vec<u8>,
+    /// Span of this message's [`Hop::Hold`] stamp (0 = untraced), so
+    /// the eventual [`Hop::Replay`] hangs under the hold in the span
+    /// tree.
+    trace_parent: u64,
 }
 
 /// One totally ordered input a recovering replica may have to hold and
@@ -517,7 +528,7 @@ impl Mechanisms {
 
     /// Starts locally hosted client replicas (deployment time): runs
     /// `on_start` and issues the resulting invocations.
-    pub fn start_clients(&mut self) -> Vec<Out> {
+    pub fn start_clients(&mut self, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
         let mut outs = Vec::new();
         let groups: Vec<GroupId> = self.groups.keys().copied().collect();
         for group in groups {
@@ -532,14 +543,14 @@ impl Mechanisms {
                 continue;
             };
             let invocations = app.on_start();
-            outs.extend(self.issue_invocations(group, invocations));
+            outs.extend(self.issue_invocations(group, invocations, now, ctx));
         }
         outs
     }
 
     /// Runs `on_tick` of the locally hosted client replica of `group`
     /// (if operational) and issues the resulting invocations.
-    fn tick_replica(&mut self, group: GroupId) -> Vec<Out> {
+    fn tick_replica(&mut self, group: GroupId, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
         let Some(lg) = self.groups.get_mut(&group) else {
             return Vec::new();
         };
@@ -553,7 +564,7 @@ impl Mechanisms {
             return Vec::new();
         };
         let invocations = app.on_tick();
-        self.issue_invocations(group, invocations)
+        self.issue_invocations(group, invocations, now, ctx)
     }
 
     /// A totally ordered [`EternalMessage::LoadTick`]: ticks the local
@@ -562,14 +573,14 @@ impl Mechanisms {
     /// it (the donor ran it before the capture, so its effects arrive
     /// inside the transferred state), and an enqueueing replica holds
     /// it for replay after `set_state`.
-    fn on_load_tick(&mut self, group: GroupId) -> Vec<Out> {
+    fn on_load_tick(&mut self, group: GroupId, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
         let Some(lg) = self.groups.get_mut(&group) else {
             return Vec::new();
         };
         match lg.replica.as_mut() {
             None => Vec::new(),
             Some(replica) => match replica.phase {
-                ReplicaPhase::Operational => self.tick_replica(group),
+                ReplicaPhase::Operational => self.tick_replica(group, now, ctx),
                 ReplicaPhase::Standby => Vec::new(),
                 ReplicaPhase::AwaitingSync => {
                     self.counters.dropped_pre_sync += 1;
@@ -625,7 +636,13 @@ impl Mechanisms {
     // Outgoing path: client invocations through the ORB + interceptor
     // ================================================================
 
-    fn issue_invocations(&mut self, group: GroupId, invocations: Vec<AppInvocation>) -> Vec<Out> {
+    fn issue_invocations(
+        &mut self,
+        group: GroupId,
+        invocations: Vec<AppInvocation>,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         let mut outs = Vec::new();
         for inv in invocations {
             let conn = ConnectionName {
@@ -654,6 +671,31 @@ impl Mechanisms {
             // The interceptor sees what the ORB tried to write to its
             // socket; the observer learns the ORB state from it.
             self.observer.observe_request(conn, &bytes);
+            // Each invocation roots its own causal chain at the client
+            // interceptor (a follow-up issued from a reply handler hangs
+            // under that reply's match span). The TraceContext rides
+            // in-band in the GIOP request's service-context list.
+            let trace_id = iiop_trace_id(conn, self.interceptor.next_op_seq(conn));
+            let marshal = ctx.stamp_new(
+                now,
+                trace_id,
+                ctx.parent(),
+                Hop::Marshal,
+                &format!("req {conn} {}", inv.operation),
+            );
+            let bytes = if marshal != 0 {
+                inject_trace_context(
+                    bytes,
+                    TraceContext {
+                        trace_id,
+                        span_id: marshal,
+                        parent_span_id: ctx.parent(),
+                        clock: ctx.clock(),
+                    },
+                )
+            } else {
+                bytes
+            };
             let message = self.interceptor.capture_request(conn, bytes);
             let op_seq = match &message {
                 EternalMessage::Iiop { op_seq, .. } => *op_seq,
@@ -674,6 +716,7 @@ impl Mechanisms {
             outs.push(Out::Multicast {
                 delay: Duration::ZERO,
                 message,
+                trace: ctx.tag(trace_id, marshal),
             });
         }
         outs
@@ -683,8 +726,15 @@ impl Mechanisms {
     // Incoming path: totally ordered Eternal messages
     // ================================================================
 
-    /// Handles one totally ordered message. `now` is the delivery time.
-    pub fn on_delivered(&mut self, message: EternalMessage, now: SimTime) -> Vec<Out> {
+    /// Handles one totally ordered message. `now` is the delivery time;
+    /// `ctx` is the causal-stamping context the cluster built from the
+    /// delivered frame's [`TraceTag`] (inert when tracing is off).
+    pub fn on_delivered(
+        &mut self,
+        message: EternalMessage,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         self.orb.set_clock(now);
         match message {
             EternalMessage::Iiop {
@@ -692,20 +742,20 @@ impl Mechanisms {
                 direction,
                 op_seq,
                 bytes,
-            } => self.on_iiop(conn, direction, op_seq, bytes, now),
+            } => self.on_iiop(conn, direction, op_seq, bytes, now, ctx),
             EternalMessage::ReplicaJoining { group, host } => self.on_joining(group, host),
-            EternalMessage::ReplicaFault { group, host } => self.on_fault(group, host),
+            EternalMessage::ReplicaFault { group, host } => self.on_fault(group, host, now, ctx),
             EternalMessage::StateRetrieval {
                 group,
                 transfer,
                 purpose,
-            } => self.on_retrieval(group, transfer, purpose, now),
+            } => self.on_retrieval(group, transfer, purpose, now, ctx),
             EternalMessage::StateAssignment {
                 transfer,
                 purpose,
                 state,
-            } => self.on_assignment(transfer, purpose, state, now),
-            EternalMessage::LoadTick { group } => self.on_load_tick(group),
+            } => self.on_assignment(transfer, purpose, state, now, ctx),
+            EternalMessage::LoadTick { group } => self.on_load_tick(group, now, ctx),
         }
     }
 
@@ -716,6 +766,7 @@ impl Mechanisms {
         op_seq: u32,
         bytes: Vec<u8>,
         now: SimTime,
+        ctx: &mut HopCtx,
     ) -> Vec<Out> {
         let op = OperationId {
             conn,
@@ -741,6 +792,7 @@ impl Mechanisms {
             direction,
             op_seq,
             bytes,
+            trace_parent: ctx.parent(),
         };
         let to_deliver = {
             let Some(lg) = self.groups.get_mut(&target_group) else {
@@ -773,6 +825,11 @@ impl Mechanisms {
                         None
                     }
                     ReplicaPhase::Enqueueing => {
+                        let mut held = held;
+                        // §5.1 step i in the span tree: the message
+                        // parks in the holding queue; its eventual
+                        // replay hangs under this hop.
+                        held.trace_parent = ctx.stamp(now, Hop::Hold, "holding-queue");
                         replica.holding.hold(HeldInput::Iiop(held));
                         self.counters.enqueued_during_recovery += 1;
                         None
@@ -781,21 +838,33 @@ impl Mechanisms {
             }
         };
         if let Some(held) = to_deliver {
-            outs.extend(self.deliver_to_replica(target_group, held, now));
+            outs.extend(self.deliver_to_replica(target_group, held, now, ctx));
         }
         outs
     }
 
     /// Delivers one admitted IIOP message into the local operational
     /// replica of `group`.
-    fn deliver_to_replica(&mut self, group: GroupId, held: HeldIiop, now: SimTime) -> Vec<Out> {
+    fn deliver_to_replica(
+        &mut self,
+        group: GroupId,
+        held: HeldIiop,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         match held.direction {
-            Direction::Request => self.deliver_request(group, held, now),
-            Direction::Reply => self.deliver_reply(group, held),
+            Direction::Request => self.deliver_request(group, held, now, ctx),
+            Direction::Reply => self.deliver_reply(group, held, now, ctx),
         }
     }
 
-    fn deliver_request(&mut self, group: GroupId, held: HeldIiop, now: SimTime) -> Vec<Out> {
+    fn deliver_request(
+        &mut self,
+        group: GroupId,
+        held: HeldIiop,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         let conn_id = match self.server_conns.get(&held.conn) {
             Some(&id) => id,
             None => {
@@ -811,6 +880,11 @@ impl Mechanisms {
                 match disposition {
                     RequestDisposition::Dispatched => {
                         self.counters.requests_dispatched += 1;
+                        let dispatch = ctx.stamp(
+                            now,
+                            Hop::Dispatch,
+                            &format!("{} op#{}", held.conn, held.op_seq),
+                        );
                         if maybe_reply.is_none() {
                             // A oneway: no reply will ever signal its
                             // completion, so the object is considered
@@ -825,12 +899,31 @@ impl Mechanisms {
                             }
                         }
                         if let Some(reply_bytes) = maybe_reply {
+                            // The reply continues the request's chain:
+                            // its emission hop hangs under the dispatch
+                            // and the TraceContext travels back in the
+                            // GIOP reply's service-context list.
+                            let reply_span = ctx.stamp(now, Hop::Reply, "reply");
+                            let reply_bytes = if reply_span != 0 {
+                                inject_trace_context(
+                                    reply_bytes,
+                                    TraceContext {
+                                        trace_id: ctx.trace_id(),
+                                        span_id: reply_span,
+                                        parent_span_id: dispatch,
+                                        clock: ctx.clock(),
+                                    },
+                                )
+                            } else {
+                                reply_bytes
+                            };
                             let message =
                                 self.interceptor
                                     .capture_reply(held.conn, held.op_seq, reply_bytes);
                             outs.push(Out::Multicast {
                                 delay: self.config.exec_time,
                                 message,
+                                trace: ctx.tag(ctx.trace_id(), reply_span),
                             });
                         }
                     }
@@ -846,7 +939,13 @@ impl Mechanisms {
         outs
     }
 
-    fn deliver_reply(&mut self, group: GroupId, held: HeldIiop) -> Vec<Out> {
+    fn deliver_reply(
+        &mut self,
+        group: GroupId,
+        held: HeldIiop,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         let Some(&conn_id) = self.client_conns.get(&held.conn) else {
             // We never issued on this connection (e.g. a recovered
             // replica without restored ORB state): the reply has nowhere
@@ -858,6 +957,14 @@ impl Mechanisms {
         match self.orb.handle_reply(conn_id, &held.bytes) {
             Ok(outcome) => {
                 self.counters.replies_delivered += 1;
+                // The round trip closes here; follow-up invocations the
+                // application issues from its reply handler root their
+                // new chains under this span.
+                ctx.stamp(
+                    now,
+                    Hop::ReplyMatch,
+                    &format!("{} op#{}", held.conn, held.op_seq),
+                );
                 let mut outs = vec![Out::ReplyDelivered {
                     conn: held.conn,
                     op_seq: held.op_seq,
@@ -877,7 +984,7 @@ impl Mechanisms {
                         None => Vec::new(),
                     }
                 };
-                outs.extend(self.issue_invocations(group, follow_ups));
+                outs.extend(self.issue_invocations(group, follow_ups, now, ctx));
                 outs
             }
             Err(_) => {
@@ -904,6 +1011,7 @@ impl Mechanisms {
                 group,
                 host: self.node,
             },
+            trace: TraceTag::NONE,
         }]
     }
 
@@ -931,6 +1039,7 @@ impl Mechanisms {
                     group,
                     host: self.node,
                 },
+                trace: TraceTag::NONE,
             }]
         } else {
             Vec::new()
@@ -956,6 +1065,9 @@ impl Mechanisms {
                 transfer,
                 purpose: RetrievalPurpose::Recovery { new_host: host },
             },
+            // The transfer's chain roots at the cluster's send path
+            // (trace id derived from the transfer id).
+            trace: TraceTag::NONE,
         }]
     }
 
@@ -977,6 +1089,7 @@ impl Mechanisms {
                 transfer,
                 purpose: RetrievalPurpose::Checkpoint,
             },
+            trace: TraceTag::NONE,
         }]
     }
 
@@ -986,6 +1099,7 @@ impl Mechanisms {
         transfer: TransferId,
         purpose: RetrievalPurpose,
         now: SimTime,
+        ctx: &mut HopCtx,
     ) -> Vec<Out> {
         let Some(lg) = self.groups.get_mut(&group) else {
             return Vec::new();
@@ -1015,6 +1129,13 @@ impl Mechanisms {
                 wait
             };
             let state = self.capture_three_kinds(group);
+            // §5.1 step iii at the donor: the fabricated get_state.
+            // The assignment it produces extends the transfer's chain.
+            let get_state = ctx.stamp(
+                now,
+                Hop::GetState,
+                &format!("{group} {transfer} {}B", state.application.len()),
+            );
             outs.push(Out::StateCaptured {
                 group,
                 transfer,
@@ -1030,6 +1151,7 @@ impl Mechanisms {
                     purpose,
                     state,
                 },
+                trace: ctx.tag(ctx.trace_id(), get_state),
             });
         }
         // Checkpoint retrievals: every logging host records the log
@@ -1126,6 +1248,7 @@ impl Mechanisms {
         purpose: RetrievalPurpose,
         state: ThreeKindsOfState,
         now: SimTime,
+        ctx: &mut HopCtx,
     ) -> Vec<Out> {
         let _ = now;
         // Duplicate assignments (one per operational replica under
@@ -1174,7 +1297,7 @@ impl Mechanisms {
                     // discarded once it reaches the queue head.
                     return Vec::new();
                 }
-                self.complete_recovery(group, transfer, state, now)
+                self.complete_recovery(group, transfer, state, now, ctx)
             }
         }
     }
@@ -1189,6 +1312,7 @@ impl Mechanisms {
         transfer: TransferId,
         state: ThreeKindsOfState,
         now: SimTime,
+        ctx: &mut HopCtx,
     ) -> Vec<Out> {
         let app_state_bytes = state.application.len();
         {
@@ -1209,6 +1333,11 @@ impl Mechanisms {
 
         // Apply in the paper's order (§4.3): application first, then
         // ORB/POA, then infrastructure.
+        ctx.stamp(
+            now,
+            Hop::SetState,
+            &format!("{group} {transfer} {app_state_bytes}B"),
+        );
         self.apply_application_state(group, &state.application);
         self.apply_orb_poa_state(group, &state.orb_poa);
         self.apply_infra_state(group, &state.infrastructure);
@@ -1259,7 +1388,21 @@ impl Mechanisms {
                         lg.outstanding.remove(&(held.conn, held.op_seq));
                     }
                     if final_phase == ReplicaPhase::Operational {
-                        outs.extend(self.deliver_to_replica(group, held, now));
+                        // Each held message replays on its *own* chain
+                        // (the hop hangs under its hold span), not on
+                        // the assignment's — excursion and restore.
+                        let saved = (ctx.trace_id(), ctx.parent());
+                        let held_trace = iiop_trace_id(held.conn, held.op_seq);
+                        let replay = ctx.stamp_new(
+                            now,
+                            held_trace,
+                            held.trace_parent,
+                            Hop::Replay,
+                            &format!("{} op#{}", held.conn, held.op_seq),
+                        );
+                        ctx.set_chain(held_trace, replay);
+                        outs.extend(self.deliver_to_replica(group, held, now, ctx));
+                        ctx.set_chain(saved.0, saved.1);
                     }
                 }
                 Some(HeldEntry::Normal(HeldInput::LoadTick)) => {
@@ -1269,7 +1412,7 @@ impl Mechanisms {
                     // the siblings' (same restored operation counters →
                     // same ids) and are suppressed downstream.
                     if final_phase == ReplicaPhase::Operational {
-                        outs.extend(self.tick_replica(group));
+                        outs.extend(self.tick_replica(group, now, ctx));
                     }
                 }
             }
@@ -1358,7 +1501,13 @@ impl Mechanisms {
         lg.outstanding = calls.drain(..).map(|c| ((c.conn, c.op_seq), c)).collect();
     }
 
-    fn on_fault(&mut self, group: GroupId, host: NodeId) -> Vec<Out> {
+    fn on_fault(
+        &mut self,
+        group: GroupId,
+        host: NodeId,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         let Some(lg) = self.groups.get_mut(&group) else {
             return Vec::new();
         };
@@ -1384,13 +1533,13 @@ impl Mechanisms {
         if new_primary != self.node {
             return Vec::new();
         }
-        self.promote_local(group)
+        self.promote_local(group, now, ctx)
     }
 
     /// Promotes the local backup to primary: cold-loads the replica if
     /// needed, applies the logged checkpoint, and replays the logged
     /// message suffix (§3.3).
-    fn promote_local(&mut self, group: GroupId) -> Vec<Out> {
+    fn promote_local(&mut self, group: GroupId, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
         let style;
         let checkpoint_bytes;
         let suffix: Vec<(u64, Vec<u8>)>;
@@ -1459,11 +1608,14 @@ impl Mechanisms {
                     direction: Direction::Request,
                     op_seq: tag as u32,
                     bytes,
+                    trace_parent: 0,
                 };
                 let mut delivered = self.deliver_to_replica_with_delay(
                     group,
                     held,
                     base + self.config.exec_time * (i as u64 + 1),
+                    now,
+                    ctx,
                 );
                 outs.append(&mut delivered);
             }
@@ -1481,10 +1633,26 @@ impl Mechanisms {
         group: GroupId,
         held: HeldIiop,
         delay: Duration,
+        now: SimTime,
+        ctx: &mut HopCtx,
     ) -> Vec<Out> {
+        // A promoted primary replays the logged suffix: each logged
+        // message replays on its own causal chain, rooted fresh (the
+        // original hops predate the log and may be long evicted).
+        let saved = (ctx.trace_id(), ctx.parent());
+        let held_trace = iiop_trace_id(held.conn, held.op_seq);
+        let replay = ctx.stamp_new(
+            now,
+            held_trace,
+            held.trace_parent,
+            Hop::Replay,
+            &format!("log {} op#{}", held.conn, held.op_seq),
+        );
+        ctx.set_chain(held_trace, replay);
         // Replay happens at fault-delivery time; oneway settling windows
         // are folded into the explicit replay delay instead.
-        let mut outs = self.deliver_to_replica(group, held, SimTime::ZERO);
+        let mut outs = self.deliver_to_replica(group, held, SimTime::ZERO, ctx);
+        ctx.set_chain(saved.0, saved.1);
         for out in &mut outs {
             if let Out::Multicast { delay: d, .. } = out {
                 *d += delay;
@@ -1496,7 +1664,12 @@ impl Mechanisms {
     /// Processes a Totem configuration change: replicas on processors
     /// that left the membership are treated as failed, at the same
     /// total-order point on every survivor.
-    pub fn on_config_change(&mut self, members: &[NodeId]) -> Vec<Out> {
+    pub fn on_config_change(
+        &mut self,
+        members: &[NodeId],
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
         let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
         let mut outs = Vec::new();
         let groups: Vec<GroupId> = self.groups.keys().copied().collect();
@@ -1510,7 +1683,7 @@ impl Mechanisms {
                     .collect()
             };
             for host in dead {
-                outs.extend(self.on_fault(group, host));
+                outs.extend(self.on_fault(group, host, now, ctx));
             }
         }
         outs
@@ -1525,6 +1698,14 @@ mod tests {
 
     fn n(i: u32) -> NodeId {
         NodeId(i)
+    }
+
+    /// Runs `f` with a throwaway untraced stamping context — these tests
+    /// exercise the mechanics, not the causal recorder.
+    fn with_ctx<R>(f: impl FnOnce(&mut HopCtx) -> R) -> R {
+        let mut rec = eternal_obs::causal::CausalRecorder::disabled();
+        let mut ctx = HopCtx::new(&mut rec, 0, 0, 0, 0);
+        f(&mut ctx)
     }
 
     /// A miniature total-order bus: collects `Out::Multicast` messages
@@ -1562,7 +1743,7 @@ mod tests {
                 self.now += Duration::from_micros(100);
                 for mech in mechs.iter_mut() {
                     let node = mech.node();
-                    let outs = mech.on_delivered(message.clone(), self.now);
+                    let outs = with_ctx(|ctx| mech.on_delivered(message.clone(), self.now, ctx));
                     for out in self.collect(outs) {
                         events.push((node, out));
                     }
@@ -1626,8 +1807,11 @@ mod tests {
         a.deploy_local_replica(client);
 
         let mut bus = Bus::new();
-        let outs = a.start_clients();
-        assert!(b.start_clients().is_empty(), "no client replica on P1");
+        let outs = with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx));
+        assert!(
+            with_ctx(|ctx| b.start_clients(SimTime::ZERO, ctx)).is_empty(),
+            "no client replica on P1"
+        );
         bus.collect(outs);
         let events = bus.run(&mut [&mut a, &mut b]);
         // The client got its reply (and the streaming app immediately
@@ -1660,7 +1844,7 @@ mod tests {
         sibling.register_group(server_meta(server, vec![n(0)], ReplicationStyle::Active));
         sibling.register_group(client_meta(client, vec![n(9)], server));
         sibling.deploy_local_replica(client);
-        let outs = sibling.start_clients();
+        let outs = with_ctx(|ctx| sibling.start_clients(SimTime::ZERO, ctx));
         let msg = outs
             .into_iter()
             .find_map(|o| match o {
@@ -1669,14 +1853,14 @@ mod tests {
             })
             .expect("client issued a request");
 
-        let first = a.on_delivered(msg.clone(), SimTime::ZERO);
+        let first = with_ctx(|ctx| a.on_delivered(msg.clone(), SimTime::ZERO, ctx));
         assert!(
             first.iter().any(|o| matches!(o, Out::Multicast { .. })),
             "first copy dispatched and produced a reply"
         );
-        let second = a.on_delivered(msg.clone(), SimTime::ZERO);
+        let second = with_ctx(|ctx| a.on_delivered(msg.clone(), SimTime::ZERO, ctx));
         assert!(second.is_empty(), "duplicate copy fully suppressed");
-        let third = a.on_delivered(msg, SimTime::ZERO);
+        let third = with_ctx(|ctx| a.on_delivered(msg, SimTime::ZERO, ctx));
         assert!(third.is_empty());
         assert_eq!(a.suppressed(), 2);
     }
@@ -1727,7 +1911,7 @@ mod tests {
         a.deploy_local_replica(client);
 
         let mut bus = Bus::new();
-        bus.collect(a.start_clients());
+        bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx)));
         bus.run(&mut [&mut a, &mut b]);
 
         // Kill B's replica; its fault is announced and a recovering
@@ -1752,7 +1936,7 @@ mod tests {
         // Both replicas now dispatch in lock-step again.
         let before_a = a.counters().requests_dispatched;
         let before_b = b.counters().requests_dispatched;
-        bus.collect(a.start_clients()); // no-op (already started)
+        bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx))); // no-op (already started)
         let _ = (before_a, before_b);
     }
 
@@ -1822,7 +2006,7 @@ mod tests {
         c.deploy_local_replica(client);
 
         let mut bus = Bus::new();
-        bus.collect(c.start_clients());
+        bus.collect(with_ctx(|ctx| c.start_clients(SimTime::ZERO, ctx)));
         let events = bus.run(&mut [&mut a, &mut c]);
         assert_eq!(a.counters().requests_dispatched, 1, "oneway dispatched");
         assert!(

@@ -100,6 +100,34 @@ pub enum EternalMessage {
 }
 
 impl EternalMessage {
+    /// A short human-readable descriptor for traces and span details
+    /// (e.g. `"iiop G1->G0 req op#3"`).
+    pub fn kind(&self) -> String {
+        match self {
+            EternalMessage::Iiop {
+                conn,
+                direction,
+                op_seq,
+                ..
+            } => {
+                let dir = match direction {
+                    Direction::Request => "req",
+                    Direction::Reply => "rep",
+                };
+                format!("iiop {conn} {dir} op#{op_seq}")
+            }
+            EternalMessage::ReplicaJoining { group, host } => format!("joining {group}@{host}"),
+            EternalMessage::ReplicaFault { group, host } => format!("fault {group}@{host}"),
+            EternalMessage::StateRetrieval {
+                group, transfer, ..
+            } => {
+                format!("get_state {group} {transfer}")
+            }
+            EternalMessage::StateAssignment { transfer, .. } => format!("set_state {transfer}"),
+            EternalMessage::LoadTick { group } => format!("load_tick {group}"),
+        }
+    }
+
     /// Serializes to CDR bytes (big-endian stream).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = CdrEncoder::new(Endian::Big);

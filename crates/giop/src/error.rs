@@ -31,6 +31,10 @@ pub enum GiopError {
     FragmentProtocol(&'static str),
     /// An IOR string was malformed.
     BadIor(&'static str),
+    /// A service context with this id is already present on the list
+    /// (`ServiceContextList::add` refuses duplicates; trace propagation
+    /// relies on exactly one trace context per request).
+    DuplicateServiceContext(u32),
 }
 
 impl fmt::Display for GiopError {
@@ -50,6 +54,9 @@ impl fmt::Display for GiopError {
             GiopError::Cdr(e) => write!(f, "CDR error in GIOP body: {e}"),
             GiopError::FragmentProtocol(msg) => write!(f, "fragment protocol violation: {msg}"),
             GiopError::BadIor(msg) => write!(f, "malformed IOR: {msg}"),
+            GiopError::DuplicateServiceContext(id) => {
+                write!(f, "duplicate service context id {id:#x}")
+            }
         }
     }
 }

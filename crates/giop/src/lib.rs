@@ -50,6 +50,7 @@ pub use message::{
     RequestMessage, SystemExceptionBody,
 };
 pub use service_context::{
-    CodeSetContext, ServiceContext, ServiceContextList, VendorHandshake, CODESET_ISO_8859_1,
-    CODESET_UTF_16, CODESET_UTF_8, CONTEXT_CODE_SETS, CONTEXT_ETERNAL_VENDOR,
+    CodeSetContext, ServiceContext, ServiceContextList, TraceContext, VendorHandshake,
+    CODESET_ISO_8859_1, CODESET_UTF_16, CODESET_UTF_8, CONTEXT_CODE_SETS, CONTEXT_ETERNAL_TRACE,
+    CONTEXT_ETERNAL_VENDOR,
 };

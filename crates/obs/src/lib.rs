@@ -13,6 +13,12 @@
 //!   simulator dependency, can timestamp events).
 //! * [`event`] — the typed [`event::EventKind`] taxonomy and
 //!   [`event::TraceEvent`] record.
+//! * [`causal`] — end-to-end causal tracing: the in-flight
+//!   [`causal::TraceTag`], the per-hop [`causal::CausalEvent`] taxonomy,
+//!   and the bounded [`causal::CausalRecorder`] that reconstructs span
+//!   trees, verifies the total-order claim, exports Chrome trace-event
+//!   JSON, and doubles as the post-mortem flight recorder
+//!   (`docs/TRACING.md`).
 //! * [`trace`] — a bounded, drop-oldest [`trace::Trace`] ring buffer
 //!   with a span API ([`trace::Trace::span_begin`] /
 //!   [`trace::Trace::span_end`]); all record paths are no-ops when the
@@ -31,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod event;
 pub mod export;
 pub mod metrics;
@@ -38,6 +45,7 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
+pub use causal::{CausalEvent, CausalRecorder, Hop, OrderPos, TraceTag};
 pub use event::{EventKind, RecoveryPhase, SpanEdge, SpanId, SpanRef, TraceEvent};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use time::{Duration, SimTime};

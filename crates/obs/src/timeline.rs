@@ -123,6 +123,35 @@ pub fn render_breakdown_table(timelines: &[RecoveryTimeline]) -> String {
     out
 }
 
+/// Renders the same per-episode breakdown as machine-readable JSON (the
+/// `repro -- timeline --json` export). Rendering is byte-deterministic.
+pub fn render_breakdown_json(timelines: &[RecoveryTimeline]) -> String {
+    let mut out = String::from("{\n  \"episodes\": [\n");
+    let n = timelines.len();
+    for (i, t) in timelines.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"app_state_bytes\": {}, \"launched_at_ns\": {}, \
+             \"operational_at_ns\": {}, \"total_ns\": {}, \"phases\": {{",
+            t.label.replace('"', "\\\""),
+            t.app_state_bytes,
+            t.launched_at.as_nanos(),
+            t.operational_at.as_nanos(),
+            t.total().as_nanos()
+        );
+        for (j, span) in t.phases.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{:?}\": {}", span.phase, span.duration().as_nanos());
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +223,16 @@ mod tests {
         }
         assert!(text.contains("G0 -> P2"));
         assert!(text.contains("4096"));
+    }
+
+    #[test]
+    fn json_breakdown_is_deterministic_and_complete() {
+        let json = render_breakdown_json(&[sample()]);
+        assert_eq!(json, render_breakdown_json(&[sample()]));
+        assert!(json.contains("\"label\": \"G0 -> P2\""));
+        assert!(json.contains("\"app_state_bytes\": 4096"));
+        assert!(json.contains("\"total_ns\""));
+        assert!(json.contains("\"phases\": {"));
+        assert!(render_breakdown_json(&[]).contains("\"episodes\": [\n  ]"));
     }
 }

@@ -26,6 +26,7 @@ use crate::types::{
     CommitEntry, CommitMsg, Frame, JoinMsg, Payload, RegularMsg, RingId, RotationAru, Timer, Token,
 };
 use eternal_sim::net::NodeId;
+use eternal_sim::obs::causal::TraceTag;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Something the engine wants its driver to do.
@@ -54,6 +55,10 @@ pub enum Delivery {
         sender: NodeId,
         /// Application bytes.
         data: Vec<u8>,
+        /// Causal trace tag the message carried ([`TraceTag::NONE`]
+        /// when untraced); preserved through batching, retransmission,
+        /// and recovery re-broadcast.
+        trace: TraceTag,
     },
     /// The membership changed; subsequent messages are ordered on the
     /// new ring. Delivered after all surviving old-ring messages.
@@ -95,8 +100,9 @@ struct OldRecovery {
     expected: VecDeque<u64>,
     /// Old-ring messages I hold or have recovered, keyed by old seq. The
     /// payload is the original `App` or `Batch` (never `Recovered`), so
-    /// a recovered batch still unpacks into the same app messages.
-    store: BTreeMap<u64, (NodeId, Payload)>,
+    /// a recovered batch still unpacks into the same app messages. The
+    /// trace tags ride along so recovered messages keep their chains.
+    store: BTreeMap<u64, (NodeId, Payload, Vec<TraceTag>)>,
     /// Old-ring seqs assigned to me for re-broadcast.
     to_rebroadcast: VecDeque<u64>,
 }
@@ -130,9 +136,9 @@ pub struct TotemNode {
     gather_reason: &'static str,
 
     // ---- application traffic ----
-    pending: VecDeque<Vec<u8>>,
+    pending: VecDeque<(Vec<u8>, TraceTag)>,
     /// New-ring app messages buffered until recovery completes.
-    deferred: Vec<(RingId, u64, NodeId, Vec<u8>)>,
+    deferred: Vec<(RingId, u64, NodeId, Vec<u8>, TraceTag)>,
 
     // ---- membership ----
     gather: Option<GatherState>,
@@ -300,7 +306,15 @@ impl TotemNode {
 
     /// Queues an application payload for totally ordered broadcast.
     pub fn broadcast(&mut self, data: Vec<u8>) -> Vec<Action> {
-        self.pending.push_back(data);
+        self.broadcast_traced(data, TraceTag::NONE)
+    }
+
+    /// Queues an application payload for totally ordered broadcast,
+    /// attaching a causal trace tag that rides the ring frame (and, for
+    /// batched frames, stays aligned with this message) all the way to
+    /// every member's [`Delivery::Message`].
+    pub fn broadcast_traced(&mut self, data: Vec<u8>, tag: TraceTag) -> Vec<Action> {
+        self.pending.push_back((data, tag));
         let mut actions = Vec::new();
         // A singleton operational ring has no token; sequence directly.
         if self.phase == Phase::Operational && self.members.len() == 1 {
@@ -820,10 +834,10 @@ impl TotemNode {
                 .copied()
                 .filter(|&s| s > self.my_aru)
                 .collect();
-            let store: BTreeMap<u64, (NodeId, Payload)> = self
+            let store: BTreeMap<u64, (NodeId, Payload, Vec<TraceTag>)> = self
                 .received
                 .iter()
-                .map(|(&s, m)| (s, (m.sender, m.payload.inner().clone())))
+                .map(|(&s, m)| (s, (m.sender, m.payload.inner().clone(), m.trace.clone())))
                 .collect();
             OldRecovery {
                 ring: old_ring,
@@ -878,25 +892,29 @@ impl TotemNode {
         if let Some(rec) = self.old_recovery.as_mut() {
             while let Some(&next) = rec.expected.front() {
                 match rec.store.get(&next) {
-                    Some((sender, payload)) => {
-                        let (sender, payload) = (*sender, payload.clone());
+                    Some((sender, payload, tags)) => {
+                        let (sender, payload, tags) = (*sender, payload.clone(), tags.clone());
                         rec.expected.pop_front();
                         let ring = rec.ring;
+                        let tag_at = |i: usize| tags.get(i).copied().unwrap_or(TraceTag::NONE);
                         let deliver =
-                            |data: Vec<u8>, count: &mut u64, actions: &mut Vec<Action>| {
+                            |data: Vec<u8>, trace, count: &mut u64, actions: &mut Vec<Action>| {
                                 *count += 1;
                                 actions.push(Action::Deliver(Delivery::Message {
                                     ring,
                                     seq: next,
                                     sender,
                                     data,
+                                    trace,
                                 }));
                             };
                         match payload {
-                            Payload::App(data) => deliver(data, &mut self.delivered_count, actions),
+                            Payload::App(data) => {
+                                deliver(data, tag_at(0), &mut self.delivered_count, actions)
+                            }
                             Payload::Batch(items) => {
-                                for data in items {
-                                    deliver(data, &mut self.delivered_count, actions);
+                                for (i, data) in items.into_iter().enumerate() {
+                                    deliver(data, tag_at(i), &mut self.delivered_count, actions);
                                 }
                             }
                             Payload::Recovered { .. } => {
@@ -920,13 +938,14 @@ impl TotemNode {
             members: self.members.clone(),
         }));
         // Flush new-ring traffic that arrived during recovery.
-        for (ring, seq, sender, data) in std::mem::take(&mut self.deferred) {
+        for (ring, seq, sender, data, trace) in std::mem::take(&mut self.deferred) {
             self.delivered_count += 1;
             actions.push(Action::Deliver(Delivery::Message {
                 ring,
                 seq,
                 sender,
                 data,
+                trace,
             }));
         }
     }
@@ -1064,7 +1083,7 @@ impl TotemNode {
                 let Some(&old_seq) = rec.to_rebroadcast.front() else {
                     break;
                 };
-                let Some((orig_sender, payload)) = rec.store.get(&old_seq).cloned() else {
+                let Some((orig_sender, payload, tags)) = rec.store.get(&old_seq).cloned() else {
                     // We were assigned a message we no longer hold (should
                     // not happen); drop the obligation.
                     rec.to_rebroadcast.pop_front();
@@ -1083,6 +1102,7 @@ impl TotemNode {
                         original_sender: orig_sender,
                         data: Box::new(payload),
                     },
+                    trace: tags,
                 };
                 actions.push(Action::Multicast(Frame::Regular(msg.clone())));
                 self.store_and_deliver(msg, actions);
@@ -1097,13 +1117,14 @@ impl TotemNode {
                 && t.seq.saturating_sub(self.my_aru) < self.cfg.window_size
             {
                 let first = self.pending.pop_front().expect("non-empty");
-                let payload = self.pack_batch(first);
+                let (payload, tags) = self.pack_batch(first);
                 t.seq += 1;
                 let msg = RegularMsg {
                     ring: t.ring,
                     seq: t.seq,
                     sender: self.id,
                     payload,
+                    trace: tags,
                 };
                 actions.push(Action::Multicast(Frame::Regular(msg.clone())));
                 self.store_and_deliver(msg, actions);
@@ -1161,31 +1182,46 @@ impl TotemNode {
     /// as fit within the batch budget into one payload (the token-visit
     /// batching fast path). Returns a plain [`Payload::App`] when
     /// batching is disabled, the message alone exceeds the budget, or
-    /// nothing else fits.
-    fn pack_batch(&mut self, first: Vec<u8>) -> Payload {
+    /// nothing else fits. The returned tag vector is aligned with the
+    /// packed items so each message keeps its own causal chain through
+    /// batching; it is empty when no item carries a trace (untraced
+    /// traffic pays zero wire bytes).
+    fn pack_batch(&mut self, first: (Vec<u8>, TraceTag)) -> (Payload, Vec<TraceTag>) {
         self.broadcast_count += 1;
+        let (first, first_tag) = first;
         let budget = self.cfg.batch_budget_bytes;
         // A batch costs 4 bytes (item count) plus 4 bytes per item.
         let mut batch_len = 4 + 4 + first.len();
         if budget == 0 || batch_len > budget {
-            return Payload::App(first);
+            let tags = if first_tag.is_none() {
+                vec![]
+            } else {
+                vec![first_tag]
+            };
+            return (Payload::App(first), tags);
         }
         let mut items = vec![first];
-        while let Some(next) = self.pending.front() {
+        let mut tags = vec![first_tag];
+        while let Some((next, _)) = self.pending.front() {
             if batch_len + 4 + next.len() > budget {
                 break;
             }
             batch_len += 4 + next.len();
-            items.push(self.pending.pop_front().expect("non-empty"));
+            let (data, tag) = self.pending.pop_front().expect("non-empty");
+            items.push(data);
+            tags.push(tag);
             self.broadcast_count += 1;
         }
+        if tags.iter().all(|t| t.is_none()) {
+            tags.clear();
+        }
         if items.len() == 1 {
-            return Payload::App(items.pop().expect("single item"));
+            return (Payload::App(items.pop().expect("single item")), tags);
         }
         self.batches += 1;
         self.batched_messages += items.len() as u64;
         self.frames_saved += items.len() as u64 - 1;
-        Payload::Batch(items)
+        (Payload::Batch(items), tags)
     }
 
     /// Stores a regular message and advances in-order (agreed) delivery.
@@ -1195,17 +1231,24 @@ impl TotemNode {
         self.received.insert(m.seq, m);
         while let Some(msg) = self.received.get(&(self.my_aru + 1)) {
             self.my_aru += 1;
+            let m = msg.clone();
             let RegularMsg {
                 ring,
                 seq,
                 sender,
                 payload,
-            } = msg.clone();
+                ref trace,
+            } = m;
             match payload {
-                Payload::App(data) => self.deliver_or_defer(ring, seq, sender, data, actions),
+                Payload::App(data) => {
+                    let tag = trace.first().copied().unwrap_or(TraceTag::NONE);
+                    self.deliver_or_defer(ring, seq, sender, data, tag, actions)
+                }
                 Payload::Batch(items) => {
-                    for data in items {
-                        self.deliver_or_defer(ring, seq, sender, data, actions);
+                    let tags = trace.clone();
+                    for (i, data) in items.into_iter().enumerate() {
+                        let tag = tags.get(i).copied().unwrap_or(TraceTag::NONE);
+                        self.deliver_or_defer(ring, seq, sender, data, tag, actions);
                     }
                 }
                 Payload::Recovered {
@@ -1218,7 +1261,8 @@ impl TotemNode {
                     if self.phase == Phase::Recover {
                         if let Some(rec) = self.old_recovery.as_mut() {
                             if rec.ring == old_ring && !rec.store.contains_key(&old_seq) {
-                                rec.store.insert(old_seq, (original_sender, *data));
+                                rec.store
+                                    .insert(old_seq, (original_sender, *data, trace.clone()));
                             }
                         }
                     }
@@ -1238,10 +1282,11 @@ impl TotemNode {
         seq: u64,
         sender: NodeId,
         data: Vec<u8>,
+        tag: TraceTag,
         actions: &mut Vec<Action>,
     ) {
         if self.phase == Phase::Recover {
-            self.deferred.push((ring, seq, sender, data));
+            self.deferred.push((ring, seq, sender, data, tag));
         } else {
             self.delivered_count += 1;
             actions.push(Action::Deliver(Delivery::Message {
@@ -1249,6 +1294,7 @@ impl TotemNode {
                 seq,
                 sender,
                 data,
+                trace: tag,
             }));
         }
     }
@@ -1256,7 +1302,7 @@ impl TotemNode {
     /// Sequences pending messages directly on a singleton ring.
     fn drain_singleton(&mut self, actions: &mut Vec<Action>) {
         debug_assert_eq!(self.members.len(), 1);
-        while let Some(data) = self.pending.pop_front() {
+        while let Some((data, tag)) = self.pending.pop_front() {
             let seq = self.my_aru + 1;
             self.broadcast_count += 1;
             let msg = RegularMsg {
@@ -1264,6 +1310,7 @@ impl TotemNode {
                 seq,
                 sender: self.id,
                 payload: Payload::App(data),
+                trace: if tag.is_none() { vec![] } else { vec![tag] },
             };
             // No receivers to multicast to, but deliver locally in order.
             self.store_and_deliver(msg, actions);
@@ -1414,6 +1461,7 @@ mod tests {
             seq: 1,
             sender: n(1),
             payload: Payload::App(vec![1]),
+            trace: vec![],
         };
         let actions = a.handle_frame(Frame::Regular(bogus));
         assert!(deliveries(&actions).is_empty());
@@ -1434,6 +1482,7 @@ mod tests {
             seq: 1,
             sender: n(9),
             payload: Payload::App(vec![1]),
+            trace: vec![],
         };
         let actions = a.handle_frame(Frame::Regular(foreign));
         assert!(deliveries(&actions).is_empty());
@@ -1451,6 +1500,7 @@ mod tests {
             seq: 1,
             sender: n(9),
             payload: Payload::App(vec![1]),
+            trace: vec![],
         };
         let actions = a.handle_frame(Frame::Regular(foreign));
         assert!(deliveries(&actions).is_empty());
@@ -1466,6 +1516,7 @@ mod tests {
             seq: 1,
             sender: n(1),
             payload: Payload::App(vec![7]),
+            trace: vec![],
         };
         let first = a.handle_frame(Frame::Regular(msg.clone()));
         assert_eq!(deliveries(&first).len(), 1);
@@ -1482,6 +1533,7 @@ mod tests {
             seq,
             sender: n(1),
             payload: Payload::App(vec![seq as u8]),
+            trace: vec![],
         };
         let acts2 = a.handle_frame(Frame::Regular(mk(2)));
         assert!(deliveries(&acts2).is_empty(), "gap must block delivery");
@@ -1530,6 +1582,7 @@ mod tests {
             seq: 1,
             sender: n(1),
             payload: Payload::App(vec![42]),
+            trace: vec![],
         }));
         let mut rtr = BTreeSet::new();
         rtr.insert(1);
@@ -1711,6 +1764,7 @@ mod tests {
                 seq,
                 sender: n(1),
                 payload: Payload::App(vec![seq as u8]),
+                trace: vec![],
             }));
         }
         // Token claims the previous full rotation had min aru 3.
@@ -1906,6 +1960,7 @@ mod tests {
             seq: 1,
             sender: n(1),
             payload: Payload::Batch(vec![vec![10], vec![11], vec![12]]),
+            trace: vec![],
         };
         let actions = a.handle_frame(Frame::Regular(batch));
         let dels = deliveries(&actions);

@@ -1,0 +1,301 @@
+//! Causal tracing must survive every transport-layer transformation.
+//!
+//! The tracing layer (PAPER.md §4 interceptors + the Totem total
+//! order) stamps one span per pipeline hop and carries a 24-byte
+//! [`TraceTag`] in Totem frame metadata plus a GIOP service-context
+//! entry. This file checks the contract that makes those spans
+//! trustworthy evidence:
+//!
+//! - batching may repack messages into frames but must not change any
+//!   trace's shape (`tree_signature` invariant, batching on vs off);
+//! - exports are byte-identical across same-seed runs (the CI
+//!   trace-smoke job diffs two `repro -- trace` invocations);
+//! - a fragmented state transfer stays one causal chain, with one
+//!   `totem.pack` span per fragment;
+//! - loss-driven retransmission and a membership reformation never
+//!   break cluster-wide total-order agreement (`verify_total_order`);
+//! - the GIOP `TraceContext` round-trips through a real Request/Reply
+//!   service-context entry and degrades safely on garbage input.
+
+use eternal::app::{BlobServant, CounterServant, StreamingClient};
+use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::interceptor::{extract_trace_context, inject_trace_context};
+use eternal::properties::FaultToleranceProperties;
+use eternal_giop::{GiopMessage, ReplyMessage, ReplyStatus, RequestMessage, TraceContext};
+use eternal_obs::causal::{CausalRecorder, Hop};
+use eternal_sim::Duration;
+
+/// Streams `limit` invocations through a traced 3-way active counter
+/// server, optionally injecting a loss burst mid-stream, drains
+/// completely, and returns the recorder for inspection.
+fn traced_run(seed: u64, batch_budget: usize, loss: f64) -> CausalRecorder {
+    let mut config = ClusterConfig {
+        causal: true,
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    config.totem.batch_budget_bytes = batch_budget;
+    let mut c = Cluster::new(config, seed);
+    let limit: u64 = 40;
+    let server = c.deploy_server("counter", FaultToleranceProperties::active(3), || {
+        Box::new(CounterServant::default())
+    });
+    let _driver = c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 6).with_limit(limit))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(30));
+
+    if loss > 0.0 {
+        c.net_mut().set_loss_probability(loss);
+        c.run_for(Duration::from_millis(120));
+        c.net_mut().set_loss_probability(0.0);
+    }
+
+    let deadline = c.now() + Duration::from_secs(120);
+    loop {
+        c.run_for(Duration::from_millis(5));
+        if c.metrics().replies_delivered >= limit && c.outstanding_calls() == 0 {
+            break;
+        }
+        assert!(
+            c.now() < deadline,
+            "workload failed to drain (replies={} of {limit})",
+            c.metrics().replies_delivered
+        );
+    }
+    c.run_for(Duration::from_millis(50));
+    c.causal().clone()
+}
+
+// ---------------------------------------------------------------------
+// Batching invariance and export determinism.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tree_signature_is_invariant_under_batching() {
+    let batched = traced_run(11, ClusterConfig::default().totem.batch_budget_bytes, 0.0);
+    let unbatched = traced_run(11, 0, 0.0);
+    assert!(!batched.is_empty(), "traced run recorded no spans");
+    assert_eq!(
+        batched.tree_signature(),
+        unbatched.tree_signature(),
+        "batching changed a trace's hop/node shape"
+    );
+    assert!(batched.verify_total_order().is_empty());
+    assert!(unbatched.verify_total_order().is_empty());
+}
+
+#[test]
+fn exports_are_byte_identical_across_same_seed_runs() {
+    let a = traced_run(23, ClusterConfig::default().totem.batch_budget_bytes, 0.0);
+    let b = traced_run(23, ClusterConfig::default().totem.batch_budget_bytes, 0.0);
+    assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    assert_eq!(a.tree_signature(), b.tree_signature());
+    assert_eq!(
+        a.flight_recorder_json("test"),
+        b.flight_recorder_json("test")
+    );
+}
+
+#[test]
+fn invocation_traces_cover_the_full_pipeline() {
+    let rec = traced_run(7, ClusterConfig::default().totem.batch_budget_bytes, 0.0);
+    // Every invocation trace that was marshalled must have reached the
+    // servant and matched its reply — no chain goes dark mid-pipeline.
+    for trace_id in rec.trace_ids() {
+        let hops: Vec<Hop> = rec
+            .events()
+            .filter(|e| e.trace_id == trace_id)
+            .map(|e| e.hop)
+            .collect();
+        if hops.contains(&Hop::Marshal) {
+            for want in [Hop::Pack, Hop::Deliver, Hop::Dispatch, Hop::ReplyMatch] {
+                assert!(
+                    hops.contains(&want),
+                    "trace {trace_id:x} marshalled but never reached {}",
+                    want.code()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retransmission under loss.
+// ---------------------------------------------------------------------
+
+#[test]
+fn retransmission_under_loss_preserves_total_order_agreement() {
+    let lossy = traced_run(31, ClusterConfig::default().totem.batch_budget_bytes, 0.10);
+    assert!(!lossy.is_empty());
+    // Retransmitted frames re-send already-packed messages: they must
+    // not mint new spans or make processors disagree on order.
+    let violations = lossy.verify_total_order();
+    assert!(violations.is_empty(), "order violations: {violations:?}");
+    let clean = traced_run(31, ClusterConfig::default().totem.batch_budget_bytes, 0.0);
+    assert_eq!(
+        lossy.tree_signature(),
+        clean.tree_signature(),
+        "loss-driven retransmission changed a trace's hop/node shape"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fragmented state transfer and membership reformation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fragmented_transfer_and_reformation_keep_one_chain() {
+    let config = ClusterConfig {
+        causal: true,
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    let frame_payload = config.net.frame_payload();
+    let blob_len = frame_payload * 3 + 17;
+    let mut c = Cluster::new(config, 5);
+    let limit: u64 = 60;
+    let server = c.deploy_server("blob", FaultToleranceProperties::active(3), move || {
+        Box::new(BlobServant::with_size(blob_len))
+    });
+    let driver = c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 6).with_limit(limit))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(40));
+
+    // Crash a server host (membership reformation) and let recovery
+    // move the oversized blob state to the replacement replica.
+    let driver_hosts = c.hosting(driver);
+    let victim = *c
+        .hosting(server)
+        .iter()
+        .find(|n| !driver_hosts.contains(n))
+        .expect("a server host that does not host the driver");
+    c.crash_processor(victim);
+    c.run_for(Duration::from_millis(300));
+    c.restart_processor(victim);
+
+    let deadline = c.now() + Duration::from_secs(120);
+    loop {
+        c.run_for(Duration::from_millis(10));
+        if c.metrics().replies_delivered >= limit
+            && c.outstanding_calls() == 0
+            && !c.recovery_in_flight()
+        {
+            break;
+        }
+        assert!(
+            c.now() < deadline,
+            "workload failed to drain (replies={} of {limit})",
+            c.metrics().replies_delivered
+        );
+    }
+    c.run_for(Duration::from_millis(100));
+
+    let rec = c.causal();
+    let violations = rec.verify_total_order();
+    assert!(violations.is_empty(), "order violations: {violations:?}");
+
+    // Find a state-transfer trace: it must stay one chain from the
+    // donor's get_state through per-fragment packs to set_state.
+    let transfer_trace = rec
+        .events()
+        .find(|e| e.hop == Hop::SetState)
+        .map(|e| e.trace_id)
+        .expect("recovery ran a traced set_state");
+    let hops: Vec<Hop> = rec
+        .events()
+        .filter(|e| e.trace_id == transfer_trace)
+        .map(|e| e.hop)
+        .collect();
+    assert!(
+        hops.contains(&Hop::GetState),
+        "transfer chain lost its get_state root"
+    );
+    assert!(hops.contains(&Hop::Deliver));
+    assert!(hops.contains(&Hop::Reassemble));
+    let packs = hops.iter().filter(|&&h| h == Hop::Pack).count();
+    assert!(
+        packs > 1,
+        "a {blob_len}-byte state transfer should fragment into multiple packed frames, saw {packs}"
+    );
+
+    // Requests held while the replacement replica synchronized must be
+    // replayed under the same trace ids that delivered them.
+    let held: Vec<u64> = rec
+        .events()
+        .filter(|e| e.hop == Hop::Hold)
+        .map(|e| e.trace_id)
+        .collect();
+    for trace_id in &held {
+        assert!(
+            rec.events()
+                .any(|e| e.trace_id == *trace_id && e.hop == Hop::Replay),
+            "held message in trace {trace_id:x} was never replayed"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// GIOP TraceContext round trip.
+// ---------------------------------------------------------------------
+
+fn sample_request() -> RequestMessage {
+    RequestMessage {
+        service_context: Default::default(),
+        request_id: 7,
+        response_expected: true,
+        object_key: vec![0xAA, 0xBB],
+        operation: "increment".into(),
+        body: vec![1, 2, 3, 4],
+    }
+}
+
+#[test]
+fn giop_trace_context_round_trips_through_request_and_reply() {
+    let tc = TraceContext {
+        trace_id: 0xDEAD_BEEF_0BAD_CAFE,
+        span_id: 42,
+        parent_span_id: 41,
+        clock: 99,
+    };
+    let req = GiopMessage::Request(sample_request()).to_bytes().unwrap();
+    let traced = inject_trace_context(req.clone(), tc);
+    assert_ne!(traced, req, "injection must add the service context");
+    assert_eq!(extract_trace_context(&traced), Some(tc));
+    // The carried message must still parse as a plain GIOP Request.
+    match GiopMessage::from_bytes(&traced).unwrap() {
+        GiopMessage::Request(r) => {
+            assert_eq!(r.operation, "increment");
+            assert_eq!(r.body, vec![1, 2, 3, 4]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let reply = GiopMessage::Reply(ReplyMessage {
+        service_context: Default::default(),
+        request_id: 7,
+        reply_status: ReplyStatus::NoException,
+        body: vec![9],
+    })
+    .to_bytes()
+    .unwrap();
+    let traced_reply = inject_trace_context(reply, tc);
+    assert_eq!(extract_trace_context(&traced_reply), Some(tc));
+}
+
+#[test]
+fn giop_trace_context_degrades_safely() {
+    // No context present: extraction finds nothing.
+    let plain = GiopMessage::Request(sample_request()).to_bytes().unwrap();
+    assert_eq!(extract_trace_context(&plain), None);
+    // Garbage bytes: injection hands back the original unchanged.
+    let garbage = vec![0xFF; 24];
+    assert_eq!(
+        inject_trace_context(garbage.clone(), TraceContext::default()),
+        garbage
+    );
+    assert_eq!(extract_trace_context(&garbage), None);
+}
