@@ -34,19 +34,36 @@
 //!
 //! `bench` runs the deterministic benchmark suite (also outside the
 //! everything-run; see `docs/BENCHMARKS.md`), writing
-//! `BENCH_eternal.json` and exiting nonzero on violated invariants:
+//! `BENCH_eternal.json` and exiting nonzero on violated invariants.
+//! `--compare <baseline.json>` additionally diffs the fresh report
+//! against a recorded baseline, prints per-metric deltas, and exits
+//! nonzero if any metric moved more than the threshold
+//! (`--threshold-pct-x100 N`, default 500 = 5 %):
 //!
 //! ```sh
 //! cargo run --release -p eternal-bench --bin repro -- bench --quick
+//! cargo run --release -p eternal-bench --bin repro -- bench --compare BENCH_eternal.json
+//! ```
+//!
+//! `health` runs the totally-ordered health-monitoring scenario (see
+//! `docs/HEALTH.md`), writing `HEALTH_eternal.json` (byte-identical per
+//! seed+fault) and printing the Prometheus exposition of the final
+//! metrics registry. A fault-free run exits nonzero if *any* diagnosis
+//! fired (false positive); a `--fault KIND` run exits nonzero if the
+//! documented detector for that kind did *not* fire:
+//!
+//! ```sh
+//! cargo run --release -p eternal-bench --bin repro -- health --seed 42
+//! cargo run --release -p eternal-bench --bin repro -- health --fault crash_restart
 //! ```
 //!
 //! Unknown experiment names print a one-line usage and exit 2.
 
-use eternal::chaos::{run_campaign, CampaignConfig};
+use eternal::chaos::{run_campaign, CampaignConfig, FaultKind};
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
-    ablation_run, checkpoint_sweep_point, fig6_point, fig6_timeline, frag_threshold,
-    overhead_point, replica_count_point, style_run, suite, trace_run,
+    ablation_run, checkpoint_sweep_point, compare, fig6_point, fig6_timeline, frag_threshold,
+    health, overhead_point, replica_count_point, style_run, suite, trace_run,
 };
 use eternal_obs::timeline::{render_breakdown_json, render_breakdown_table};
 use eternal_sim::Duration;
@@ -66,7 +83,9 @@ const EXPERIMENTS: [&str; 9] = [
 
 fn usage() {
     eprintln!(
-        "usage: repro [{}] | repro bench [--quick] | \
+        "usage: repro [{}] | \
+         repro bench [--quick] [--compare BASELINE.json] [--threshold-pct-x100 N] | \
+         repro health [--seed N] [--fault KIND] [--json PATH] | \
          repro chaos [--seed N] [--steps M] [--json PATH] [--causal] [--force-violation] | \
          repro trace [--seed N] [--json PATH] | repro timeline [--json PATH]",
         EXPERIMENTS.join("|")
@@ -83,6 +102,9 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "trace") {
         std::process::exit(trace(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "health") {
+        std::process::exit(health_cmd(&args[1..]));
     }
     // `timeline --json PATH` takes a flag; peel it off before the
     // experiment-name scan.
@@ -251,21 +273,55 @@ fn trace(args: &[String]) -> i32 {
     i32::from(!run.violations.is_empty())
 }
 
-/// `repro -- bench [--quick]`: the deterministic benchmark suite.
-/// Writes `BENCH_eternal.json` to the current directory and exits
-/// nonzero if any suite invariant was violated (see
-/// `docs/BENCHMARKS.md`).
+/// `repro -- bench [--quick] [--compare BASELINE.json]`: the
+/// deterministic benchmark suite. Writes `BENCH_eternal.json` to the
+/// current directory and exits nonzero if any suite invariant was
+/// violated (see `docs/BENCHMARKS.md`). With `--compare`, the baseline
+/// is read *before* the fresh report overwrites it, diffed metric by
+/// metric, and any delta past the threshold also fails the run.
 fn bench(args: &[String]) -> i32 {
     let mut quick = false;
-    for flag in args {
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = compare::DEFAULT_THRESHOLD_PCT_X100;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
         match flag.as_str() {
             "--quick" => quick = true,
+            "--compare" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("bench: --compare needs a baseline path");
+                    return 2;
+                }
+            },
+            "--threshold-pct-x100" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("bench: --threshold-pct-x100 needs a number (500 = 5%)");
+                    return 2;
+                }
+            },
             other => {
-                eprintln!("bench: unknown flag {other} (expected --quick)");
+                eprintln!(
+                    "bench: unknown flag {other} (expected --quick / --compare PATH / \
+                     --threshold-pct-x100 N)"
+                );
                 return 2;
             }
         }
     }
+    // Read the baseline up front: the usual invocation compares against
+    // the committed BENCH_eternal.json, which we are about to replace.
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("bench: cannot read baseline {path}: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
     let report = suite::run_suite(quick);
     print!("{}", report.json);
     if let Err(e) = std::fs::write("BENCH_eternal.json", &report.json) {
@@ -276,7 +332,85 @@ fn bench(args: &[String]) -> i32 {
     for v in &report.violations {
         eprintln!("bench: VIOLATION {v}");
     }
-    i32::from(!report.violations.is_empty())
+    let mut failed = !report.violations.is_empty();
+    if let Some(baseline) = baseline {
+        match compare::compare(&baseline, &report.json, threshold) {
+            Ok(cmp) => {
+                print!("{}", cmp.render());
+                if !cmp.passed() {
+                    eprintln!(
+                        "bench: {} regression(s) vs {}",
+                        cmp.regressions.len(),
+                        baseline_path.as_deref().unwrap_or("baseline")
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench: compare failed: {e}");
+                return 2;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+/// `repro -- health [--seed N] [--fault KIND] [--json PATH]`: the
+/// totally-ordered health-monitoring scenario of `docs/HEALTH.md`.
+/// Prints the Prometheus exposition and a one-line summary, writes the
+/// epoch/diagnosis document (byte-identical per seed+fault), and exits
+/// nonzero when the run misses its detection contract: a fault-free
+/// run that fired anything, or a forced-fault run whose documented
+/// detector stayed silent.
+fn health_cmd(args: &[String]) -> i32 {
+    let mut seed = 42u64;
+    let mut fault: Option<FaultKind> = None;
+    let mut json_path = String::from("HEALTH_eternal.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("health: --seed needs a numeric seed");
+                    return 2;
+                }
+            },
+            "--fault" => match it.next().map(String::as_str).and_then(health::parse_fault) {
+                Some(k) => fault = Some(k),
+                None => {
+                    eprintln!(
+                        "health: --fault needs one of: {}",
+                        FaultKind::ALL.map(FaultKind::name).join(", ")
+                    );
+                    return 2;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = p.clone(),
+                None => {
+                    eprintln!("health: --json needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!(
+                    "health: unknown flag {other} (expected --seed N / --fault KIND / \
+                     --json PATH)"
+                );
+                return 2;
+            }
+        }
+    }
+    let run = health::health_run(seed, fault);
+    print!("{}", run.prometheus);
+    println!("{}", run.summary);
+    if let Err(e) = std::fs::write(&json_path, &run.json) {
+        eprintln!("health: cannot write {json_path}: {e}");
+        return 1;
+    }
+    eprintln!("health: wrote {json_path}");
+    i32::from(!run.passed)
 }
 
 fn fig6() {

@@ -1,0 +1,176 @@
+//! The `repro -- health` runner: one health-lab scenario rendered as
+//! the byte-deterministic `HEALTH_eternal.json` document plus a
+//! Prometheus text exposition of the cluster's final metrics registry.
+//!
+//! Document schema (`docs/HEALTH.md` has the field-by-field spec):
+//!
+//! ```text
+//! {
+//!   "schema": 1,
+//!   "seed": …, "period_ns": …, "fault": "none" | <kind>,
+//!   "injected_at_ns": -1 | …, "final_time_ns": …,
+//!   "epochs":    [ {epoch, at_ns, snap{…}} … ],   // the agreed stream
+//!   "nodes":     [ {node, snapshots, max_…} … ],  // per-replica roll-ups
+//!   "diagnoses": [ {epoch, at_ns, detector, severity, …} … ],
+//!   "counts": {"epochs": …, "diagnoses": …, "warning": …, "critical": …}
+//! }
+//! ```
+//!
+//! Exit policy (mirrored by `repro`): a fault-free run must produce
+//! zero diagnoses — any firing is a false positive and fails. A forced
+//! fault run (`--fault KIND`) must fire the documented detector for
+//! that kind — silence fails. Same seed, same flags → byte-identical
+//! document.
+
+use eternal::chaos::FaultKind;
+use eternal::health_lab::{expected_detector, run_scenario, LabConfig};
+use eternal_obs::export::registry_to_prometheus;
+use eternal_obs::health::Severity;
+use std::fmt::Write as _;
+
+/// The result of one health run.
+#[derive(Debug, Clone)]
+pub struct HealthRun {
+    /// `HEALTH_eternal.json` contents (trailing newline included).
+    pub json: String,
+    /// Prometheus text exposition of the final metrics registry.
+    pub prometheus: String,
+    /// One-line human summary.
+    pub summary: String,
+    /// Whether the run met its exit policy (see module docs).
+    pub passed: bool,
+}
+
+/// Runs one scenario and renders its documents.
+pub fn health_run(seed: u64, fault: Option<FaultKind>) -> HealthRun {
+    let run = run_scenario(&LabConfig {
+        seed,
+        fault,
+        ..LabConfig::default()
+    });
+    let auditor = run.cluster.health_auditor();
+    let diagnoses = auditor.diagnoses();
+    let warning = diagnoses
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let critical = auditor.critical_count();
+
+    let passed = match fault {
+        // A healthy cluster must be silent: every diagnosis here is a
+        // false positive.
+        None => diagnoses.is_empty(),
+        // A faulty cluster must not be: the documented detector for
+        // the injected kind has to fire after the injection point.
+        Some(kind) => {
+            let expected = expected_detector(kind);
+            let injected = run.injected_at.map(|t| t.as_nanos()).unwrap_or(0);
+            diagnoses
+                .iter()
+                .any(|d| d.detector == expected && d.at_ns >= injected)
+        }
+    };
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(
+        out,
+        "  \"period_ns\": {},",
+        run.cluster.health_auditor().config().period_ns
+    );
+    let _ = writeln!(
+        out,
+        "  \"fault\": \"{}\",",
+        fault.map_or("none", FaultKind::name)
+    );
+    let _ = writeln!(
+        out,
+        "  \"injected_at_ns\": {},",
+        run.injected_at
+            .map_or_else(|| "-1".to_string(), |t| t.as_nanos().to_string())
+    );
+    let _ = writeln!(
+        out,
+        "  \"final_time_ns\": {},",
+        run.cluster.now().as_nanos()
+    );
+    out.push_str("  \"epochs\": [\n");
+    let epochs = auditor.epochs();
+    for (i, rec) in epochs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"epoch\": {}, \"at_ns\": {}, \"snap\": {}}}{}",
+            rec.epoch,
+            rec.at_ns,
+            rec.snap.to_json(),
+            if i + 1 < epochs.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n  \"nodes\": [\n");
+    let nodes = auditor.node_summaries();
+    for (i, s) in nodes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {}{}",
+            s.to_json(),
+            if i + 1 < nodes.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n  \"diagnoses\": [\n");
+    for (i, d) in diagnoses.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {}{}",
+            d.to_json(),
+            if i + 1 < diagnoses.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"counts\": {{\"epochs\": {}, \"diagnoses\": {}, \"warning\": {warning}, \
+         \"critical\": {critical}}},",
+        epochs.len(),
+        diagnoses.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"passed\": {}",
+        if passed { "true" } else { "false" }
+    );
+    out.push_str("}\n");
+
+    let summary = format!(
+        "health: seed={seed} fault={} epochs={} diagnoses={} warning={warning} critical={critical} verdict={}",
+        fault.map_or("none", FaultKind::name),
+        epochs.len(),
+        diagnoses.len(),
+        if passed { "PASS" } else { "FAIL" }
+    );
+
+    HealthRun {
+        json: out,
+        prometheus: registry_to_prometheus(&run.cluster.metrics_registry()),
+        summary,
+        passed,
+    }
+}
+
+/// Parses a `--fault` argument into a kind.
+pub fn parse_fault(name: &str) -> Option<FaultKind> {
+    FaultKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_names_round_trip_through_the_flag_parser() {
+        for kind in FaultKind::ALL {
+            assert_eq!(parse_fault(kind.name()), Some(kind));
+        }
+        assert_eq!(parse_fault("nonsense"), None);
+    }
+}

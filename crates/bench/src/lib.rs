@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+pub mod health;
 pub mod suite;
 
 use eternal::app::{BlobServant, CounterServant, StreamingClient};

@@ -15,6 +15,11 @@
 //!   tracing on: wire bytes traced vs untraced, checked against the
 //!   budget documented in `docs/TRACING.md`
 //!   ([`TRACING_WIRE_BUDGET_PCT_X100`]).
+//! * **health_overhead** — the throughput workload re-run with the
+//!   totally-ordered health monitor publishing every 1 ms (see
+//!   `docs/HEALTH.md`): wire bytes monitored vs unmonitored, with the
+//!   application outcome (reply count, converged state digest) required
+//!   to be identical and the auditor required to stay silent.
 //! * **recovery** — Figure 6 recovery time at three state sizes.
 //! * **allocations** — encode/decode buffer-pool statistics over the
 //!   throughput workload: how many buffer takes were served from the
@@ -65,6 +70,10 @@ struct ThroughputRun {
     batches: u64,
     batched_messages: u64,
     frames_saved: u64,
+    /// Health epochs agreed through the total order (0 with health off).
+    health_epochs: u64,
+    /// Diagnoses the auditor fired (must stay 0 on this healthy load).
+    health_diagnoses: u64,
     /// FNV-1a over the converged server-replica state bytes.
     state_digest: u64,
 }
@@ -81,10 +90,17 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 /// and drains the traffic completely, so two runs that differ only in
 /// the batching budget are comparable at identical delivered-reply
 /// counts.
-fn throughput_run(budget: usize, limit: u64, seed: u64, causal: bool) -> ThroughputRun {
+fn throughput_run(
+    budget: usize,
+    limit: u64,
+    seed: u64,
+    causal: bool,
+    health_period: Duration,
+) -> ThroughputRun {
     let mut config = ClusterConfig {
         trace: false,
         causal,
+        health_period,
         ..ClusterConfig::default()
     };
     config.totem.batch_budget_bytes = budget;
@@ -137,6 +153,8 @@ fn throughput_run(budget: usize, limit: u64, seed: u64, causal: bool) -> Through
         batches: reg.counter("totem.batches"),
         batched_messages: reg.counter("totem.batched_messages"),
         frames_saved: reg.counter("totem.frames_saved"),
+        health_epochs: cluster.health_auditor().epochs().len() as u64,
+        health_diagnoses: cluster.health_auditor().diagnoses().len() as u64,
         state_digest: digest,
     }
 }
@@ -181,8 +199,8 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // --- small-message throughput: batching on vs off ---
     let limit: u64 = if quick { 150 } else { 400 };
     let default_budget = eternal_totem::TotemConfig::default().batch_budget_bytes;
-    let batched = throughput_run(default_budget, limit, seed, false);
-    let unbatched = throughput_run(0, limit, seed, false);
+    let batched = throughput_run(default_budget, limit, seed, false, Duration::ZERO);
+    let unbatched = throughput_run(0, limit, seed, false, Duration::ZERO);
     if batched.replies != unbatched.replies {
         violations.push(format!(
             "throughput: delivered-reply counts differ (batched {} vs unbatched {})",
@@ -208,7 +226,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     let byte_reduction = reduction_pct_x100(unbatched.wire_bytes, batched.wire_bytes);
 
     // --- causal-tracing wire overhead (docs/TRACING.md budget) ---
-    let traced = throughput_run(default_budget, limit, seed, true);
+    let traced = throughput_run(default_budget, limit, seed, true, Duration::ZERO);
     if traced.replies != batched.replies {
         violations.push(format!(
             "tracing: delivered-reply counts differ (traced {} vs untraced {})",
@@ -239,6 +257,38 @@ pub fn run_suite(quick: bool) -> BenchReport {
         ));
     }
 
+    // --- health-monitoring overhead (docs/HEALTH.md) ---
+    // Same workload with every node publishing a HealthSnapshot through
+    // the total order each millisecond. The monitor must be inert: same
+    // replies, same converged state, zero diagnoses on a healthy run.
+    let monitored = throughput_run(default_budget, limit, seed, false, Duration::from_millis(1));
+    if monitored.replies != batched.replies {
+        violations.push(format!(
+            "health: delivered-reply counts differ (monitored {} vs unmonitored {})",
+            monitored.replies, batched.replies
+        ));
+    }
+    if monitored.state_digest != batched.state_digest {
+        violations.push(format!(
+            "health: final replica state differs (monitored {:x} vs unmonitored {:x})",
+            monitored.state_digest, batched.state_digest
+        ));
+    }
+    if monitored.health_epochs == 0 {
+        violations.push("health: no health epochs were agreed".to_string());
+    }
+    if monitored.health_diagnoses != 0 {
+        violations.push(format!(
+            "health: {} diagnosis(es) fired on a fault-free workload",
+            monitored.health_diagnoses
+        ));
+    }
+    let health_overhead = monitored
+        .wire_bytes
+        .saturating_sub(batched.wire_bytes)
+        .saturating_mul(10_000)
+        / batched.wire_bytes.max(1);
+
     // --- recovery time at three state sizes (Figure 6) ---
     let sizes: [usize; 3] = if quick {
         [1_000, 20_000, 60_000]
@@ -260,7 +310,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // pool statistics: deterministic allocation counts without any
     // allocator hooks.
     eternal_cdr::pool::reset();
-    let _ = throughput_run(default_budget, limit, seed, false);
+    let _ = throughput_run(default_budget, limit, seed, false, Duration::ZERO);
     let pool = eternal_cdr::pool::stats();
     let reuse_pct_x100 = (pool.reused * 10_000).checked_div(pool.takes).unwrap_or(0);
     if pool.reused == 0 {
@@ -270,7 +320,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // --- render (fixed key order, integers and strings only) ---
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"quick\": {},", u8::from(quick));
     let _ = writeln!(
@@ -299,6 +349,16 @@ pub fn run_suite(quick: bool) -> BenchReport {
         "  \"tracing_overhead\": {{\"traced_wire_bytes\": {}, \"untraced_wire_bytes\": {}, \
          \"overhead_pct_x100\": {}, \"budget_pct_x100\": {}}},",
         traced.wire_bytes, batched.wire_bytes, tracing_overhead, TRACING_WIRE_BUDGET_PCT_X100
+    );
+    let _ = writeln!(
+        out,
+        "  \"health_overhead\": {{\"monitored_wire_bytes\": {}, \"unmonitored_wire_bytes\": {}, \
+         \"overhead_pct_x100\": {}, \"epochs\": {}, \"diagnoses\": {}}},",
+        monitored.wire_bytes,
+        batched.wire_bytes,
+        health_overhead,
+        monitored.health_epochs,
+        monitored.health_diagnoses
     );
     out.push_str("  \"recovery\": [\n");
     for (i, p) in recovery.iter().enumerate() {
@@ -350,8 +410,8 @@ mod tests {
 
     #[test]
     fn batching_bends_the_frame_curve() {
-        let batched = throughput_run(1408, 150, 9, false);
-        let unbatched = throughput_run(0, 150, 9, false);
+        let batched = throughput_run(1408, 150, 9, false, Duration::ZERO);
+        let unbatched = throughput_run(0, 150, 9, false, Duration::ZERO);
         assert_eq!(batched.replies, unbatched.replies);
         assert_eq!(batched.state_digest, unbatched.state_digest);
         assert!(

@@ -74,7 +74,11 @@ pub fn trace_id_of(message: &EternalMessage) -> u64 {
         | EternalMessage::StateAssignment { transfer, .. } => transfer_trace_id(*transfer),
         EternalMessage::ReplicaJoining { .. }
         | EternalMessage::ReplicaFault { .. }
-        | EternalMessage::LoadTick { .. } => 0,
+        | EternalMessage::LoadTick { .. }
+        // Health snapshots are untraced infrastructure: tracing them
+        // would add TraceTag bytes to every periodic publish and skew
+        // the very timings they measure.
+        | EternalMessage::Health { .. } => 0,
     }
 }
 

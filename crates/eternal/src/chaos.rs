@@ -128,6 +128,12 @@ pub struct CampaignConfig {
     /// violation → flight-recorder path end to end (the CI trace-smoke
     /// job asserts the dump is well-formed).
     pub force_violation: bool,
+    /// Health-snapshot publish interval for the run's cluster
+    /// ([`ClusterConfig::health_period`]). `Duration::ZERO` (the
+    /// default) keeps health monitoring off and the campaign summary
+    /// byte-identical to pre-health builds; nonzero adds a `health`
+    /// rollup to the summary. See `docs/HEALTH.md`.
+    pub health_period: Duration,
 }
 
 impl Default for CampaignConfig {
@@ -145,8 +151,22 @@ impl Default for CampaignConfig {
             batch_budget_bytes: None,
             causal: false,
             force_violation: false,
+            health_period: Duration::ZERO,
         }
     }
+}
+
+/// Aggregate of the health auditor's output over one campaign, present
+/// in the summary only when [`CampaignConfig::health_period`] was
+/// nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthRollup {
+    /// Agreed health epochs observed.
+    pub epochs: u64,
+    /// Diagnoses fired, all severities.
+    pub diagnoses: u64,
+    /// Critical diagnoses fired.
+    pub critical: u64,
 }
 
 /// One invariant violation observed at a quiescent point.
@@ -202,6 +222,10 @@ pub struct CampaignSummary {
     /// was violated. `repro -- chaos` writes it to
     /// `flight_recorder.json`.
     pub flight_recorder: Option<String>,
+    /// Health-auditor rollup, present only when the campaign ran with a
+    /// nonzero [`CampaignConfig::health_period`] (keeps default
+    /// summaries byte-identical).
+    pub health: Option<HealthRollup>,
 }
 
 impl CampaignSummary {
@@ -264,6 +288,13 @@ impl CampaignSummary {
             .collect::<Vec<_>>()
             .join(", ");
         let _ = writeln!(out, "  \"violations\": [{violations}],");
+        if let Some(h) = &self.health {
+            let _ = writeln!(
+                out,
+                "  \"health\": {{\"epochs\": {}, \"diagnoses\": {}, \"critical\": {}}},",
+                h.epochs, h.diagnoses, h.critical
+            );
+        }
         let _ = writeln!(
             out,
             "  \"passed\": {}",
@@ -304,6 +335,13 @@ impl fmt::Display for CampaignSummary {
         )?;
         for v in &self.violations {
             writeln!(f, "    VIOLATION {v}")?;
+        }
+        if let Some(h) = &self.health {
+            writeln!(
+                f,
+                "  health: epochs={} diagnoses={} critical={}",
+                h.epochs, h.diagnoses, h.critical
+            )?;
         }
         write!(
             f,
@@ -359,6 +397,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         cluster_cfg.totem.batch_budget_bytes = budget;
     }
     cluster_cfg.causal = cfg.causal;
+    cluster_cfg.health_period = cfg.health_period;
     let cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
     let mut campaign = Campaign {
         cfg,
@@ -882,6 +921,16 @@ impl Campaign<'_> {
         } else {
             None
         };
+        let health = if self.cfg.health_period > Duration::ZERO {
+            let auditor = self.cluster.health_auditor();
+            Some(HealthRollup {
+                epochs: auditor.epochs().len() as u64,
+                diagnoses: auditor.diagnoses().len() as u64,
+                critical: auditor.critical_count() as u64,
+            })
+        } else {
+            None
+        };
         CampaignSummary {
             seed: self.cfg.seed,
             steps: self.cfg.steps,
@@ -895,6 +944,7 @@ impl Campaign<'_> {
             invariant_checks: self.invariant_checks,
             violations,
             flight_recorder,
+            health,
         }
     }
 }

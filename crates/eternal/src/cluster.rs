@@ -19,6 +19,7 @@ use crate::message::{fragment_eternal, EternalMessage, EternalReassembler, Retri
 use crate::metrics::{Metrics, RecoveryRecord};
 use crate::properties::{FaultToleranceProperties, ReplicationStyle};
 use eternal_obs::causal::{CausalRecorder, Hop, OrderPos, TraceTag};
+use eternal_obs::health::{AuditorConfig, HealthAuditor, HealthSnapshot};
 use eternal_obs::timeline::PhaseSpan;
 use eternal_obs::{EventKind, MetricsRegistry, RecoveryPhase, RecoveryTimeline};
 use eternal_orb::servant::CheckpointableServant;
@@ -60,6 +61,17 @@ pub struct ClusterConfig {
     /// Ring-buffer capacity of the causal recorder (drop-oldest beyond
     /// it — the flight-recorder bound).
     pub causal_capacity: usize,
+    /// Interval between cluster-health snapshots published by each live
+    /// processor through the total order ([`EternalMessage::Health`]).
+    /// `Duration::ZERO` (the default) disables health monitoring
+    /// entirely: no ticks are scheduled, no messages are sent, and every
+    /// existing workload stays byte-identical. See `docs/HEALTH.md`.
+    pub health_period: Duration,
+    /// Detector thresholds for the online health auditor. Its
+    /// `period_ns` is overridden from `health_period` whenever health
+    /// monitoring is on, so silence detection always matches the actual
+    /// publish cadence.
+    pub health_auditor: AuditorConfig,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +87,8 @@ impl Default for ClusterConfig {
             trace_capacity: eternal_obs::trace::DEFAULT_CAPACITY,
             causal: false,
             causal_capacity: eternal_obs::causal::DEFAULT_CAUSAL_CAPACITY,
+            health_period: Duration::ZERO,
+            health_auditor: AuditorConfig::default(),
         }
     }
 }
@@ -113,6 +127,9 @@ enum Event {
     LaunchReplica {
         node: NodeId,
         group: GroupId,
+    },
+    HealthTick {
+        node: NodeId,
     },
 }
 
@@ -204,6 +221,22 @@ pub struct Cluster {
     repl_mgr: ReplicationManager,
     res_mgr: ResourceManager,
     clients_started: bool,
+    /// Online anomaly auditor over the agreed health-epoch stream
+    /// (inert unless [`ClusterConfig::health_period`] is nonzero).
+    health_auditor: HealthAuditor,
+    /// Per-origin publish sequence numbers. Cluster-owned (not
+    /// mechanism state) so they survive processor restarts and an
+    /// origin never reuses a (node, seq) identity.
+    health_seq: BTreeMap<NodeId, u64>,
+    /// Epoch assigned to each health message at its *first* delivery
+    /// anywhere — first-delivery order is the total order, so every
+    /// replica observes the same epoch numbering. Pruned once well past.
+    health_epoch_of: HashMap<(u64, u64), u64>,
+    next_health_epoch: u64,
+    /// Per-node epoch tag for the state digests the node's next
+    /// snapshot will carry: the digests are refreshed at each health
+    /// delivery (a shared total-order point), and this records which.
+    health_digest_epoch: BTreeMap<NodeId, u64>,
 }
 
 impl Cluster {
@@ -252,8 +285,27 @@ impl Cluster {
             incarnations: BTreeMap::new(),
             timelines: Vec::new(),
             clients_started: false,
+            health_auditor: {
+                let mut acfg = config.health_auditor.clone();
+                if config.health_period > Duration::ZERO {
+                    acfg.period_ns = config.health_period.as_nanos();
+                }
+                HealthAuditor::new(acfg)
+            },
+            health_seq: BTreeMap::new(),
+            health_epoch_of: HashMap::new(),
+            next_health_epoch: 0,
+            health_digest_epoch: BTreeMap::new(),
             config,
         };
+        // The encode/decode buffer pool is thread-global: with health
+        // monitoring on, its counters surface in published snapshots,
+        // so start it cold — otherwise earlier work on this thread (a
+        // previous cluster, a warm pool) leaks into the health output
+        // and breaks same-seed byte-determinism.
+        if cluster.config.health_period > Duration::ZERO {
+            eternal_cdr::pool::reset();
+        }
         for i in 0..cluster.config.processors {
             let id = NodeId(i);
             let mut node = TotemNode::new(id, cluster.config.totem.clone());
@@ -266,6 +318,14 @@ impl Cluster {
             cluster.alive.insert(id, true);
             cluster.next_emsg_id.insert(id, 0);
             cluster.apply_totem_actions(id, actions);
+        }
+        if cluster.config.health_period > Duration::ZERO {
+            for i in 0..cluster.config.processors {
+                cluster.sched.schedule_after(
+                    cluster.config.health_period,
+                    Event::HealthTick { node: NodeId(i) },
+                );
+            }
         }
         cluster
     }
@@ -455,7 +515,49 @@ impl Cluster {
         reg.counter_add("net.frames_sent", self.net.frames_sent());
         reg.counter_add("net.frames_dropped", self.net.frames_dropped());
         reg.counter_add("net.bytes_sent", self.net.bytes_sent());
+        // Instantaneous depths as gauges (summed over live processors):
+        // the health snapshots sample the same quantities per node, but
+        // the registry export is the place dashboards scrape.
+        let mut holding = 0i64;
+        let mut dedup = 0i64;
+        let mut reasm = 0i64;
+        let mut recovering = 0i64;
+        for (&node, mech) in &self.mechs {
+            if !self.is_alive(node) {
+                continue;
+            }
+            holding += mech.holding_depth_total() as i64;
+            dedup += mech.dedup_resident() as i64;
+            recovering += mech.recovering_replicas() as i64;
+            reasm += self.reassembly_pending(node) as i64;
+        }
+        reg.gauge_set("eternal.holding_depth", holding);
+        reg.gauge_set("eternal.dedup_resident", dedup);
+        reg.gauge_set("eternal.reassembly_pending", reasm);
+        reg.gauge_set("eternal.recovering_replicas", recovering);
+        reg.gauge_set("eternal.outstanding_calls", self.outstanding_calls() as i64);
+        if self.config.health_period > Duration::ZERO {
+            reg.gauge_set("health.epochs", self.health_auditor.epochs().len() as i64);
+            reg.counter_add("health.diagnoses", 0);
+        }
         reg
+    }
+
+    /// The online health auditor: the agreed epoch stream and every
+    /// diagnosis fired so far. Empty unless
+    /// [`ClusterConfig::health_period`] is nonzero.
+    pub fn health_auditor(&self) -> &HealthAuditor {
+        &self.health_auditor
+    }
+
+    /// Salts `group`'s state digest as published by `node` from now on
+    /// — a test hook proving the auditor's divergence detector fires on
+    /// real digest mismatches (the paper's mechanisms never diverge on
+    /// their own; see `docs/HEALTH.md`).
+    pub fn corrupt_health_digest(&mut self, node: NodeId, group: GroupId) {
+        if let Some(mech) = self.mechs.get_mut(&node) {
+            mech.corrupt_health_digest(group);
+        }
     }
 
     /// Phase-resolved timelines of completed recovery episodes, in
@@ -1071,6 +1173,14 @@ impl Cluster {
                     .launch_recovering_replica(group);
                 self.process_outs(node, outs, now, Duration::ZERO);
             }
+            Event::HealthTick { node } => {
+                // Reschedule unconditionally — a crashed processor's
+                // tick keeps firing silently so publishing resumes by
+                // itself after a restart.
+                self.sched
+                    .schedule_after(self.config.health_period, Event::HealthTick { node });
+                self.publish_health(node, now);
+            }
         }
     }
 
@@ -1160,6 +1270,110 @@ impl Cluster {
         eternal_cdr::pool::recycle(encoded);
     }
 
+    /// Publishes one [`HealthSnapshot`] from `node` through the total
+    /// order. Only live members of an operational ring publish —
+    /// silence during reformation or partition is itself the signal the
+    /// auditor's [`eternal_obs::health::Detector::ReplicaSilence`]
+    /// detector listens for.
+    fn publish_health(&mut self, node: NodeId, now: SimTime) {
+        if !self.is_alive(node) {
+            return;
+        }
+        let totem = &self.totem[&node];
+        if totem.phase() != Phase::Operational {
+            return;
+        }
+        // No token circulates on a singleton ring; report a zero age
+        // rather than time-since-the-ring-last-had-peers.
+        let token_age = if totem.members().len() <= 1 {
+            Duration::ZERO
+        } else {
+            self.last_token_at
+                .get(&node)
+                .map(|&t| now - t)
+                .unwrap_or(Duration::ZERO)
+        };
+        let stats = totem.stats();
+        let mech = &self.mechs[&node];
+        let pool = eternal_cdr::pool::stats();
+        let seq = {
+            let s = self.health_seq.entry(node).or_insert(0);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let snap = HealthSnapshot {
+            node: u64::from(node.0),
+            seq,
+            published_ns: now.as_nanos(),
+            token_age_ns: token_age.as_nanos(),
+            broadcasts: stats.broadcasts,
+            delivered: stats.delivered,
+            retransmits: stats.retransmits_served + stats.token_retransmits,
+            reformations: stats.reformations,
+            holding_depth: mech.holding_depth_total() as u64,
+            reassembly_depth: self.reassembly_pending(node) as u64,
+            dedup_resident: mech.dedup_resident() as u64,
+            pool_takes: pool.takes,
+            pool_reused: pool.reused,
+            recovering: mech.recovering_replicas() as u64,
+            digest_epoch: self
+                .health_digest_epoch
+                .get(&node)
+                .copied()
+                .unwrap_or(HealthSnapshot::NO_DIGEST),
+            digests: mech.health_digests().to_vec(),
+        };
+        self.trace.record(
+            now,
+            format!("{node}/health"),
+            EventKind::HealthSnapshot,
+            format!("seq#{seq}"),
+        );
+        self.registry.counter_add("health.snapshots_published", 1);
+        self.do_multicast(node, EternalMessage::Health { snap }, now, TraceTag::NONE);
+    }
+
+    /// Reacts to a delivered health snapshot at `node`. The epoch is
+    /// assigned at the message's *first* delivery anywhere (that order
+    /// is the total order), and the auditor observes each message
+    /// exactly once, at that assignment. Every delivering node also
+    /// tags its next snapshot's state digests with this epoch, so the
+    /// auditor only ever compares digests captured at the same
+    /// total-order point.
+    fn on_health_delivered(&mut self, node: NodeId, snap: &HealthSnapshot, now: SimTime) {
+        let key = (snap.node, snap.seq);
+        let epoch = match self.health_epoch_of.get(&key) {
+            Some(&e) => e,
+            None => {
+                let e = self.next_health_epoch;
+                self.next_health_epoch += 1;
+                self.health_epoch_of.insert(key, e);
+                // All deliveries of one message land within a few
+                // rotations; entries far behind the frontier are dead.
+                if self.health_epoch_of.len() > 2048 {
+                    let floor = e.saturating_sub(1024);
+                    self.health_epoch_of.retain(|_, &mut v| v >= floor);
+                }
+                for d in self.health_auditor.observe(e, now.as_nanos(), snap) {
+                    self.registry.counter_add("health.diagnoses", 1);
+                    self.registry
+                        .counter_add(&format!("health.diagnoses.{}", d.severity.name()), 1);
+                    self.registry
+                        .counter_add(&format!("health.detector.{}", d.detector.name()), 1);
+                    self.trace.record(
+                        now,
+                        "cluster/health-auditor".to_string(),
+                        EventKind::HealthDiagnosis,
+                        d.to_string(),
+                    );
+                }
+                e
+            }
+        };
+        self.health_digest_epoch.insert(node, epoch);
+    }
+
     fn apply_totem_actions(&mut self, node: NodeId, actions: Vec<TotemAction>) {
         let now = self.sched.now();
         for action in actions {
@@ -1247,6 +1461,9 @@ impl Cluster {
                         self.digest_delivery(node, &message);
                         self.observe_recovery_message(node, &message, now);
                         self.resource_manager_hook(node, &message, now);
+                        if let EternalMessage::Health { snap } = &message {
+                            self.on_health_delivered(node, snap, now);
+                        }
                         if chain.0 != 0 {
                             let span = self.causal.record(
                                 now,

@@ -1,0 +1,298 @@
+//! Controlled single-fault scenarios for the cluster-health subsystem.
+//!
+//! The chaos campaigns (`chaos.rs`) prove the *invariants* under a
+//! randomized fault schedule; this module proves the *detectors*: each
+//! scenario runs a standard replicated workload with health monitoring
+//! on, injects exactly one fault class (or none), and hands back the
+//! whole [`Cluster`] so callers can interrogate the auditor's agreed
+//! epoch stream. The detection-coverage matrix test and the
+//! `repro -- health` runner both drive it; every choice in here is
+//! deterministic (first host, highest safe processor, midpoint split),
+//! so the same seed reproduces the same epochs and diagnoses byte for
+//! byte. See `docs/HEALTH.md` for the fault → detector map.
+
+use crate::app::{BlobServant, BurstClient, CounterServant};
+use crate::chaos::FaultKind;
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::gid::GroupId;
+use crate::properties::FaultToleranceProperties;
+use eternal_obs::health::{AuditorConfig, Detector};
+use eternal_sim::net::NodeId;
+use eternal_sim::{Duration, SimTime};
+
+/// Parameters of one scenario.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Network-model seed (the scenario itself draws no randomness).
+    pub seed: u64,
+    /// The single fault class to inject, or `None` for a fault-free
+    /// run (which must fire zero diagnoses).
+    pub fault: Option<FaultKind>,
+    /// Salt one group's published state digest mid-run — the only way
+    /// to make the paper's mechanisms "diverge", proving the
+    /// [`Detector::DigestDivergence`] path end to end.
+    pub corrupt_digest: bool,
+    /// Cluster size.
+    pub processors: u32,
+    /// Health-snapshot publish interval.
+    pub period: Duration,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            seed: 42,
+            fault: None,
+            corrupt_digest: false,
+            processors: 5,
+            period: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A finished scenario: the cluster (auditor, registry, trace intact)
+/// plus what was done to it.
+#[derive(Debug)]
+pub struct LabRun {
+    /// The cluster after the run; `cluster.health_auditor()` holds the
+    /// agreed epoch stream and every diagnosis.
+    pub cluster: Cluster,
+    /// The injected fault, if any.
+    pub fault: Option<FaultKind>,
+    /// Virtual time at which the fault (or digest corruption) was
+    /// injected.
+    pub injected_at: Option<SimTime>,
+    /// The counter server group.
+    pub counter: GroupId,
+    /// The blob server group (large state; recovery spans many frames).
+    pub blob: GroupId,
+}
+
+/// The documented fault → detector coverage map: the detector that
+/// MUST fire (possibly among others) when the scenario injects `fault`.
+pub const fn expected_detector(fault: FaultKind) -> Detector {
+    match fault {
+        // Recovery SLO is tightened so a normal blob transfer overruns.
+        FaultKind::KillReplica => Detector::RecoveryOverrun,
+        // Crashing the recovering host prolongs recovery past the SLO.
+        FaultKind::KillMidTransfer => Detector::RecoveryOverrun,
+        // A crashed processor stops publishing; the survivors notice.
+        FaultKind::CrashRestart => Detector::ReplicaSilence,
+        // Partition + heal forces at least two reformations close
+        // together on every surviving node.
+        FaultKind::PartitionHeal => Detector::ReformationStorm,
+        // Frame loss under load drives token and message retransmits.
+        FaultKind::LossBurst => Detector::RetransmitSurge,
+        // 2.5 ms propagation makes a 5-hop token rotation exceed the
+        // 8 ms token-slow threshold without tripping token-loss timers.
+        FaultKind::DelaySpike => Detector::TokenStall,
+    }
+}
+
+/// The auditor thresholds each scenario runs with: defaults, except
+/// where the fault class needs a controlled SLO to make detection
+/// deterministic (documented per arm).
+pub fn auditor_config_for(fault: Option<FaultKind>) -> AuditorConfig {
+    let base = AuditorConfig::default();
+    match fault {
+        // A 60 kB blob transfer takes ~5 ms of virtual time; a 2 ms
+        // recovery SLO turns every §5.1 episode into an overrun.
+        Some(FaultKind::KillReplica) | Some(FaultKind::KillMidTransfer) => AuditorConfig {
+            recovery_deadline_ns: 2_000_000,
+            ..base
+        },
+        // The two reformations (partition, heal) are separated by the
+        // hold; widen the delta window so both land in it.
+        Some(FaultKind::PartitionHeal) => AuditorConfig {
+            window_epochs: 64,
+            ..base
+        },
+        // The lab workload is light (a few dozen broadcasts per burst),
+        // so even 30 % frame loss yields single-digit retransmissions
+        // per window; a controlled surge budget keeps detection
+        // deterministic. Fault-free runs see zero retransmissions, so
+        // this cannot false-positive the baseline phase.
+        Some(FaultKind::LossBurst) => AuditorConfig {
+            retransmit_surge: 4,
+            ..base
+        },
+        _ => base,
+    }
+}
+
+/// Runs one scenario to completion.
+pub fn run_scenario(cfg: &LabConfig) -> LabRun {
+    assert!(
+        cfg.processors >= 4,
+        "scenario topology needs >= 4 processors"
+    );
+    assert!(cfg.period > Duration::ZERO, "health must be on in the lab");
+    let cluster_cfg = ClusterConfig {
+        processors: cfg.processors,
+        health_period: cfg.period,
+        health_auditor: auditor_config_for(cfg.fault),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
+
+    let burst = 4;
+    let blob_size = 60_000;
+    let counter = cluster.deploy_server(
+        "health-counter",
+        FaultToleranceProperties::active(3),
+        || Box::new(CounterServant::default()),
+    );
+    let blob = cluster.deploy_server(
+        "health-blob",
+        FaultToleranceProperties::active(2),
+        move || Box::new(BlobServant::with_size(blob_size)),
+    );
+    cluster.deploy_client(
+        "health-counter-driver",
+        FaultToleranceProperties::active(2),
+        move |_| Box::new(BurstClient::new(counter, "increment", burst)),
+    );
+    cluster.deploy_client(
+        "health-blob-driver",
+        FaultToleranceProperties::active(2),
+        move |_| Box::new(BurstClient::new(blob, "touch", burst)),
+    );
+    cluster.run_until_deployed();
+
+    // Baseline: traffic over a healthy ring. Long enough that the
+    // deployment transient (launch-phase recovering runs, initial
+    // reformation) ages out of every detector window before injection.
+    cluster.kick_clients();
+    cluster.run_for(Duration::from_millis(30));
+
+    let mut injected_at = None;
+    if cfg.corrupt_digest {
+        injected_at = Some(cluster.now());
+        cluster.corrupt_health_digest(NodeId(0), counter);
+        cluster.run_for(Duration::from_millis(20));
+    }
+    if let Some(fault) = cfg.fault {
+        injected_at = Some(cluster.now());
+        inject(&mut cluster, blob, fault);
+    }
+
+    // Drain to quiescence so summaries cover the full episode.
+    cluster.kick_clients();
+    cluster.run_for(Duration::from_millis(50));
+
+    LabRun {
+        cluster,
+        fault: cfg.fault,
+        injected_at,
+        counter,
+        blob,
+    }
+}
+
+fn inject(cluster: &mut Cluster, blob: GroupId, fault: FaultKind) {
+    match fault {
+        FaultKind::KillReplica => {
+            let victim = first_host(cluster, blob);
+            cluster.kill_replica(blob, victim);
+            cluster.run_for(Duration::from_millis(150));
+        }
+        FaultKind::CrashRestart => {
+            let victim = highest_safe_processor(cluster);
+            cluster.crash_processor(victim);
+            // Hold well past the silence thresholds while the
+            // survivors keep publishing.
+            cluster.run_for(Duration::from_millis(60));
+            cluster.restart_processor(victim);
+            cluster.run_for(Duration::from_millis(150));
+        }
+        FaultKind::PartitionHeal => {
+            let live: Vec<NodeId> = cluster
+                .processors()
+                .into_iter()
+                .filter(|&n| cluster.is_alive(n))
+                .collect();
+            let (a, b) = live.split_at(live.len() / 2 + 1);
+            cluster.net_mut().partition(&[a, b]);
+            // Long enough for token-loss detection and a reformation
+            // on each side, so the heal forces a second one.
+            cluster.run_for(Duration::from_millis(60));
+            cluster.net_mut().heal();
+            cluster.run_for(Duration::from_millis(200));
+        }
+        FaultKind::LossBurst => {
+            let base = cluster.net().config().loss_probability;
+            cluster.net_mut().set_loss_probability(0.3);
+            // Keep traffic flowing through the lossy window so dropped
+            // frames keep landing in the token's retransmit-request set.
+            for _ in 0..6 {
+                cluster.kick_clients();
+                cluster.run_for(Duration::from_millis(10));
+            }
+            cluster.net_mut().set_loss_probability(base);
+            cluster.run_for(Duration::from_millis(100));
+        }
+        FaultKind::DelaySpike => {
+            let base = cluster.net().config().propagation_delay;
+            cluster
+                .net_mut()
+                .set_propagation_delay(Duration::from_micros(2_500));
+            cluster.run_for(Duration::from_millis(80));
+            cluster.net_mut().set_propagation_delay(base);
+            cluster.run_for(Duration::from_millis(60));
+        }
+        FaultKind::KillMidTransfer => {
+            let victim = first_host(cluster, blob);
+            cluster.kill_replica(blob, victim);
+            // Slice forward until the replacement's launch is pending,
+            // then crash the recovering host itself mid-transfer.
+            let deadline = cluster.now() + Duration::from_millis(200);
+            let new_host = loop {
+                if let Some(&(_, host)) =
+                    cluster.pending_launches().iter().find(|&&(g, _)| g == blob)
+                {
+                    break Some(host);
+                }
+                if cluster.now() >= deadline {
+                    break None;
+                }
+                cluster.run_for(Duration::from_micros(500));
+            };
+            if let Some(new_host) = new_host {
+                cluster.run_for(Duration::from_millis(1));
+                if cluster.is_alive(new_host) && safe_to_crash(cluster, new_host) {
+                    cluster.crash_processor(new_host);
+                    cluster.run_for(Duration::from_millis(40));
+                    cluster.restart_processor(new_host);
+                }
+            }
+            cluster.run_for(Duration::from_millis(250));
+        }
+    }
+}
+
+/// The lowest-id live host of `group` (deterministic victim choice).
+fn first_host(cluster: &Cluster, group: GroupId) -> NodeId {
+    *cluster
+        .hosting(group)
+        .first()
+        .expect("scenario group is hosted")
+}
+
+/// The highest-id processor every group can survive losing.
+fn highest_safe_processor(cluster: &Cluster) -> NodeId {
+    cluster
+        .processors()
+        .into_iter()
+        .rev()
+        .find(|&n| cluster.is_alive(n) && safe_to_crash(cluster, n))
+        .expect("some processor is safe to crash")
+}
+
+fn safe_to_crash(cluster: &Cluster, victim: NodeId) -> bool {
+    cluster.groups().iter().all(|&(g, _)| {
+        cluster
+            .hosting(g)
+            .iter()
+            .any(|&n| n != victim && cluster.is_alive(n))
+    })
+}

@@ -72,6 +72,7 @@ pub mod causal;
 pub mod chaos;
 pub mod cluster;
 pub mod gid;
+pub mod health_lab;
 pub mod interceptor;
 pub mod manager;
 pub mod mechanisms;

@@ -310,6 +310,13 @@ pub struct Mechanisms {
     /// silently discard the new transfer's `set_state` as a duplicate.
     incarnation: u64,
     counters: MechCounters,
+    /// Per-group application-state digests last computed at a health
+    /// delivery point (docs/HEALTH.md): `(group, fnv1a)` pairs in group
+    /// order, carried in this processor's *next* published snapshot.
+    health_digests: Vec<(u64, u64)>,
+    /// Test-only corruption hook: XORed into a group's health digest so
+    /// the divergence detector has something real to catch.
+    health_digest_salt: BTreeMap<GroupId, u64>,
 }
 
 impl std::fmt::Debug for Mechanisms {
@@ -343,6 +350,8 @@ impl Mechanisms {
             next_transfer_seq: 0,
             incarnation: 0,
             counters: MechCounters::default(),
+            health_digests: Vec::new(),
+            health_digest_salt: BTreeMap::new(),
         }
     }
 
@@ -756,7 +765,77 @@ impl Mechanisms {
                 state,
             } => self.on_assignment(transfer, purpose, state, now, ctx),
             EternalMessage::LoadTick { group } => self.on_load_tick(group, now, ctx),
+            EternalMessage::Health { .. } => {
+                // The snapshot itself is consumed by the cluster driver
+                // (epoch assignment + auditing). The mechanisms' job at
+                // this delivery point is local: refresh the per-group
+                // state digests. Replicas are quiescent at delivery
+                // points, so every operational replica of a group
+                // digests the same total-order prefix here — equal
+                // digests at equal health epochs, by construction.
+                self.refresh_health_digests();
+                Vec::new()
+            }
         }
+    }
+
+    /// Recomputes the per-group application-state digests of every
+    /// locally hosted *operational* replica (non-operational replicas
+    /// are skipped: their state legitimately lags mid-recovery).
+    fn refresh_health_digests(&mut self) {
+        let groups: Vec<GroupId> = self.groups.keys().copied().collect();
+        let mut digests = Vec::new();
+        for group in groups {
+            if let Some(bytes) = self.probe_application_state(group) {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &b in &bytes {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h ^= self.health_digest_salt.get(&group).copied().unwrap_or(0);
+                digests.push((u64::from(group.0), h));
+            }
+        }
+        self.health_digests = digests;
+    }
+
+    /// The digests last computed by
+    /// [`refresh_health_digests`](Self::refresh_health_digests) (empty
+    /// before the first health delivery).
+    pub fn health_digests(&self) -> &[(u64, u64)] {
+        &self.health_digests
+    }
+
+    /// Corrupts this processor's health digest of `group` from now on
+    /// (fault injection for the divergence detector — the application
+    /// state itself is untouched).
+    pub fn corrupt_health_digest(&mut self, group: GroupId) {
+        *self.health_digest_salt.entry(group).or_insert(0) ^= 0x0005_EEDB_ADC0_FFEE;
+    }
+
+    /// Total held inputs across all locally hosted replicas (the §5.1
+    /// holding queues; a health gauge).
+    pub fn holding_depth_total(&self) -> usize {
+        self.groups
+            .values()
+            .filter_map(|lg| lg.replica.as_ref())
+            .map(|r| r.holding.len())
+            .sum()
+    }
+
+    /// Locally hosted replicas currently mid-recovery (awaiting their
+    /// synchronization point or enqueueing behind a state transfer).
+    pub fn recovering_replicas(&self) -> usize {
+        self.groups
+            .values()
+            .filter_map(|lg| lg.replica.as_ref())
+            .filter(|r| {
+                matches!(
+                    r.phase,
+                    ReplicaPhase::AwaitingSync | ReplicaPhase::Enqueueing
+                )
+            })
+            .count()
     }
 
     fn on_iiop(

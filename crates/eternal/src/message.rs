@@ -13,6 +13,7 @@
 use crate::gid::{ConnectionName, Direction, GroupId, TransferId};
 use crate::recovery::state3::ThreeKindsOfState;
 use eternal_cdr::{CdrDecoder, CdrEncoder, CdrError, Endian};
+use eternal_obs::health::HealthSnapshot;
 use eternal_sim::net::NodeId;
 use std::collections::HashMap;
 
@@ -97,6 +98,14 @@ pub enum EternalMessage {
         /// The client group to tick.
         group: GroupId,
     },
+    /// A periodic cluster-health snapshot (docs/HEALTH.md), multicast
+    /// so every processor observes the same totally-ordered stream of
+    /// health epochs — the cluster agrees on its own health history the
+    /// same way it agrees on application state.
+    Health {
+        /// The publisher's self-measurement.
+        snap: HealthSnapshot,
+    },
 }
 
 impl EternalMessage {
@@ -125,6 +134,9 @@ impl EternalMessage {
             }
             EternalMessage::StateAssignment { transfer, .. } => format!("set_state {transfer}"),
             EternalMessage::LoadTick { group } => format!("load_tick {group}"),
+            EternalMessage::Health { snap } => {
+                format!("health P{} seq#{}", snap.node, snap.seq)
+            }
         }
     }
 
@@ -184,6 +196,33 @@ impl EternalMessage {
                 enc.write_u8(5);
                 enc.write_u32(group.0);
             }
+            EternalMessage::Health { snap } => {
+                enc.write_u8(6);
+                for v in [
+                    snap.node,
+                    snap.seq,
+                    snap.published_ns,
+                    snap.token_age_ns,
+                    snap.broadcasts,
+                    snap.delivered,
+                    snap.retransmits,
+                    snap.reformations,
+                    snap.holding_depth,
+                    snap.reassembly_depth,
+                    snap.dedup_resident,
+                    snap.pool_takes,
+                    snap.pool_reused,
+                    snap.recovering,
+                    snap.digest_epoch,
+                ] {
+                    enc.write_u64(v);
+                }
+                enc.write_u32(snap.digests.len() as u32);
+                for &(g, d) in &snap.digests {
+                    enc.write_u64(g);
+                    enc.write_u64(d);
+                }
+            }
         }
         enc.into_bytes()
     }
@@ -231,6 +270,34 @@ impl EternalMessage {
             5 => EternalMessage::LoadTick {
                 group: GroupId(dec.read_u32()?),
             },
+            6 => {
+                let mut snap = HealthSnapshot {
+                    node: dec.read_u64()?,
+                    seq: dec.read_u64()?,
+                    published_ns: dec.read_u64()?,
+                    token_age_ns: dec.read_u64()?,
+                    broadcasts: dec.read_u64()?,
+                    delivered: dec.read_u64()?,
+                    retransmits: dec.read_u64()?,
+                    reformations: dec.read_u64()?,
+                    holding_depth: dec.read_u64()?,
+                    reassembly_depth: dec.read_u64()?,
+                    dedup_resident: dec.read_u64()?,
+                    pool_takes: dec.read_u64()?,
+                    pool_reused: dec.read_u64()?,
+                    recovering: dec.read_u64()?,
+                    digest_epoch: dec.read_u64()?,
+                    digests: Vec::new(),
+                };
+                let n = dec.read_u32()? as usize;
+                snap.digests.reserve(n.min(1024));
+                for _ in 0..n {
+                    let g = dec.read_u64()?;
+                    let d = dec.read_u64()?;
+                    snap.digests.push((g, d));
+                }
+                EternalMessage::Health { snap }
+            }
             other => return Err(CdrError::UnknownTypeCodeKind(other as u32)),
         })
     }
@@ -493,6 +560,35 @@ mod tests {
                         handshakes: vec![(conn(), vec![9, 9])],
                     },
                     infrastructure: InfraStateTransfer::default(),
+                },
+            },
+            EternalMessage::LoadTick { group: GroupId(7) },
+            EternalMessage::Health {
+                snap: HealthSnapshot {
+                    node: 2,
+                    seq: 41,
+                    published_ns: 123_456_789,
+                    token_age_ns: 350_000,
+                    broadcasts: 100,
+                    delivered: 400,
+                    retransmits: 3,
+                    reformations: 1,
+                    holding_depth: 0,
+                    reassembly_depth: 1,
+                    dedup_resident: 12,
+                    pool_takes: 500,
+                    pool_reused: 480,
+                    recovering: 0,
+                    digest_epoch: 9,
+                    digests: vec![(0, 0xDEAD), (1, 0xBEEF)],
+                },
+            },
+            EternalMessage::Health {
+                snap: HealthSnapshot {
+                    node: 0,
+                    seq: 0,
+                    digest_epoch: HealthSnapshot::NO_DIGEST,
+                    ..HealthSnapshot::default()
                 },
             },
         ]

@@ -127,6 +127,12 @@ pub enum EventKind {
     InvariantCheck,
     /// An invariant check failed.
     InvariantViolation,
+
+    // ---- cluster health (docs/HEALTH.md) ----
+    /// A replica published a health snapshot through the total order.
+    HealthSnapshot,
+    /// The health auditor fired a diagnosis.
+    HealthDiagnosis,
 }
 
 impl EventKind {
@@ -162,6 +168,8 @@ impl EventKind {
             EventKind::ChaosFault => "chaos.fault",
             EventKind::InvariantCheck => "invariant.check",
             EventKind::InvariantViolation => "invariant.violation",
+            EventKind::HealthSnapshot => "health.snapshot",
+            EventKind::HealthDiagnosis => "health.diagnosis",
         }
     }
 }
@@ -260,6 +268,8 @@ mod tests {
             EventKind::ChaosFault,
             EventKind::InvariantCheck,
             EventKind::InvariantViolation,
+            EventKind::HealthSnapshot,
+            EventKind::HealthDiagnosis,
         ];
         all.extend(RecoveryPhase::ALL.iter().map(|&p| EventKind::Phase(p)));
         let codes: std::collections::BTreeSet<&str> = all.iter().map(|k| k.code()).collect();

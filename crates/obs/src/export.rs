@@ -104,6 +104,53 @@ pub fn registry_to_jsonl(registry: &MetricsRegistry) -> String {
     out
 }
 
+/// Sanitizes a dotted metric name into the Prometheus exposition
+/// grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other separators
+/// become underscores.
+fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition
+/// format: counters and gauges as single samples, histograms as
+/// summaries (`{quantile="…"}` samples plus `_sum`/`_count`). Dots in
+/// metric names become underscores. Deterministic: the registry's
+/// iteration order is sorted, and values are integers of virtual-time
+/// nanoseconds.
+pub fn registry_to_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
+    }
+    for (name, h) in registry.histograms() {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", v.as_nanos());
+        }
+        let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum_nanos(), h.count());
+    }
+    out
+}
+
 /// Serializes recovery timelines, one episode per line.
 pub fn timelines_to_jsonl(timelines: &[RecoveryTimeline]) -> String {
     let mut out = String::new();
@@ -187,6 +234,21 @@ mod tests {
         assert!(text.contains("{\"metric\":\"g\",\"type\":\"gauge\",\"value\":-1}"));
         assert!(text.contains("\"type\":\"histogram\",\"count\":1"));
         assert!(text.contains("\"max_ns\":7000"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_types() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("totem.broadcasts", 7);
+        r.gauge_set("eternal.holding_depth", 3);
+        r.histogram_record("orb.round_trip", Duration::from_micros(10));
+        let text = registry_to_prometheus(&r);
+        assert!(text.contains("# TYPE totem_broadcasts counter\ntotem_broadcasts 7\n"));
+        assert!(text.contains("# TYPE eternal_holding_depth gauge\neternal_holding_depth 3\n"));
+        assert!(text.contains("# TYPE orb_round_trip summary"));
+        assert!(text.contains("orb_round_trip{quantile=\"0.5\"} 10000"));
+        assert!(text.contains("orb_round_trip_sum 10000\norb_round_trip_count 1\n"));
+        assert_eq!(prometheus_name("9lives.x-y"), "_9lives_x_y");
     }
 
     #[test]

@@ -28,8 +28,13 @@
 //! * [`timeline`] — the phase-resolved
 //!   [`timeline::RecoveryTimeline`] (quiesce → `get_state` → transfer
 //!   → `set_state` → replay) and its Figure-6 breakdown table.
+//! * [`health`] — totally-ordered cluster health: the
+//!   [`health::HealthSnapshot`] each replica publishes through the
+//!   total order, the agreed epoch stream, and the online
+//!   [`health::HealthAuditor`] with its severity-graded detectors
+//!   (`docs/HEALTH.md`).
 //! * [`export`] — a dependency-free JSONL exporter for traces and
-//!   registry snapshots.
+//!   registry snapshots, plus a Prometheus-style text exposition.
 //!
 //! The crate has no dependencies at all — it sits below `eternal-sim`
 //! (which re-exports it) and below `eternal-orb`.
@@ -40,6 +45,7 @@
 pub mod causal;
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod metrics;
 pub mod time;
 pub mod timeline;
@@ -47,6 +53,10 @@ pub mod trace;
 
 pub use causal::{CausalEvent, CausalRecorder, Hop, OrderPos, TraceTag};
 pub use event::{EventKind, RecoveryPhase, SpanEdge, SpanId, SpanRef, TraceEvent};
+pub use health::{
+    AuditorConfig, Detector, Diagnosis, EpochRecord, HealthAuditor, HealthSnapshot, NodeSummary,
+    Severity,
+};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use time::{Duration, SimTime};
 pub use timeline::{PhaseSpan, RecoveryTimeline};

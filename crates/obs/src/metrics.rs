@@ -102,6 +102,12 @@ impl LogHistogram {
         Duration::from_nanos(self.max_ns)
     }
 
+    /// Exact sum of all samples, in nanoseconds (dimensionless
+    /// histograms: in the caller's unit).
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_ns
+    }
+
     /// Exact mean, or zero if empty.
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
