@@ -21,6 +21,12 @@
 //!   application outcome (reply count, converged state digest) required
 //!   to be identical and the auditor required to stay silent.
 //! * **recovery** — Figure 6 recovery time at three state sizes.
+//! * **recovery_chunked** — the same three state sizes recovered under
+//!   ongoing traffic, once with the monolithic single-assignment
+//!   transfer (`chunk_bytes = 0`) and once with the chunked pipelined
+//!   transfer (docs/RECOVERY.md): the group-blocking window must shrink
+//!   at least 5x at the largest size, with byte-identical replies and
+//!   converged state digests between the two modes.
 //! * **allocations** — encode/decode buffer-pool statistics over the
 //!   throughput workload: how many buffer takes were served from the
 //!   pool instead of the allocator.
@@ -31,7 +37,7 @@
 //! nonzero.
 
 use crate::{fig6_point, overhead_point};
-use eternal::app::{CounterServant, StreamingClient};
+use eternal::app::{BlobServant, CounterServant, StreamingClient};
 use eternal::cluster::{Cluster, ClusterConfig};
 use eternal::properties::FaultToleranceProperties;
 use eternal_sim::Duration;
@@ -156,6 +162,98 @@ fn throughput_run(
         health_epochs: cluster.health_auditor().epochs().len() as u64,
         health_diagnoses: cluster.health_auditor().diagnoses().len() as u64,
         state_digest: digest,
+    }
+}
+
+/// One drained recovery-under-load run at a fixed chunk size
+/// (`chunk_bytes = 0` restores the monolithic transfer).
+#[derive(Debug, Clone, Copy)]
+struct ChunkedRecoveryRun {
+    /// Group-blocking window of the single completed episode.
+    blocking_ns: u64,
+    /// Recovery time (launch → reinstatement) of the episode.
+    recovery_ns: u64,
+    /// Replies the bounded driver collected (must match across modes).
+    replies: u64,
+    /// FNV-1a over the converged replica states (must match across
+    /// modes AND across the two replicas within the run).
+    state_digest: u64,
+    /// State chunks streamed, summed over processors (0 when
+    /// monolithic).
+    chunks_streamed: u64,
+}
+
+/// Streams a bounded two-way load at a 2-way active blob server, kills
+/// one replica early so the §5.1 recovery runs *under* the remaining
+/// traffic, and drains everything: replies, converged state, and the
+/// episode's blocking window are then comparable across chunk sizes.
+fn chunked_recovery_run(
+    state_bytes: usize,
+    chunk_bytes: usize,
+    limit: u64,
+    seed: u64,
+) -> ChunkedRecoveryRun {
+    let mut config = ClusterConfig {
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    config.mech.chunk_bytes = chunk_bytes;
+    let mut cluster = Cluster::new(config, seed);
+    let server = cluster.deploy_server("blob", FaultToleranceProperties::active(2), move || {
+        Box::new(BlobServant::with_size(state_bytes))
+    });
+    cluster.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4).with_limit(limit))
+    });
+    cluster.run_until_deployed();
+    // Kill early: most of the bounded stream is still ahead, so the
+    // transfer and the traffic genuinely overlap.
+    cluster.run_for(Duration::from_millis(10));
+    let victim = cluster.hosting(server)[0];
+    cluster.kill_replica(server, victim);
+    let deadline = cluster.now() + Duration::from_secs(60);
+    loop {
+        cluster.run_for(Duration::from_millis(1));
+        let m = cluster.metrics();
+        if m.replies_delivered >= limit
+            && cluster.outstanding_calls() == 0
+            && !cluster.recovery_in_flight()
+        {
+            break;
+        }
+        assert!(
+            cluster.now() < deadline,
+            "recovery-under-load run failed to drain (replies={} of {limit})",
+            m.replies_delivered
+        );
+    }
+    let m = cluster.metrics();
+    assert_eq!(m.recoveries_completed, 1, "exactly one episode expected");
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut reference: Option<Vec<u8>> = None;
+    for node in cluster.hosting(server) {
+        let state = cluster
+            .probe_application_state(node, server)
+            .expect("replica operational at quiescence");
+        match &reference {
+            None => {
+                digest = fnv1a(digest, &state);
+                reference = Some(state);
+            }
+            Some(r) => assert_eq!(r, &state, "replica state diverged within one run"),
+        }
+    }
+    let chunks_streamed = cluster
+        .processors()
+        .into_iter()
+        .map(|n| cluster.mechanisms(n).counters().chunks_streamed)
+        .sum();
+    ChunkedRecoveryRun {
+        blocking_ns: m.recoveries[0].blocking_window.as_nanos(),
+        recovery_ns: m.recoveries[0].recovery_time().as_nanos(),
+        replies: m.replies_delivered,
+        state_digest: digest,
+        chunks_streamed,
     }
 }
 
@@ -305,6 +403,53 @@ pub fn run_suite(quick: bool) -> BenchReport {
         }
     }
 
+    // --- blocking window: monolithic vs chunked transfer ---
+    // Same three state sizes, recovered under a bounded ongoing load,
+    // once with the single-assignment transfer and once with the
+    // default chunked pipeline.  Both modes must produce the same
+    // replies and the same converged state; the chunked mode must cut
+    // the group-blocking window at least 5x at the largest size.
+    let default_chunk = ClusterConfig::default().mech.chunk_bytes;
+    let chunk_limit: u64 = 400;
+    let chunked_recovery: Vec<(usize, ChunkedRecoveryRun, ChunkedRecoveryRun)> = sizes
+        .iter()
+        .map(|&s| {
+            let mono = chunked_recovery_run(s, 0, chunk_limit, seed);
+            let chunked = chunked_recovery_run(s, default_chunk, chunk_limit, seed);
+            (s, mono, chunked)
+        })
+        .collect();
+    for (s, mono, chunked) in &chunked_recovery {
+        if mono.replies != chunked.replies {
+            violations.push(format!(
+                "recovery_chunked: reply count diverged at {s}B (monolithic {} vs chunked {})",
+                mono.replies, chunked.replies
+            ));
+        }
+        if mono.state_digest != chunked.state_digest {
+            violations.push(format!(
+                "recovery_chunked: state digest diverged at {s}B \
+                 (monolithic {:016x} vs chunked {:016x})",
+                mono.state_digest, chunked.state_digest
+            ));
+        }
+    }
+    let (largest, mono_big, chunked_big) = chunked_recovery[chunked_recovery.len() - 1];
+    if chunked_big.blocking_ns.saturating_mul(5) > mono_big.blocking_ns {
+        violations.push(format!(
+            "recovery_chunked: blocking window not reduced 5x at {largest}B \
+             (monolithic {}ns vs chunked {}ns)",
+            mono_big.blocking_ns, chunked_big.blocking_ns
+        ));
+    }
+    if chunked_big.chunks_streamed < 2 {
+        violations.push(format!(
+            "recovery_chunked: expected a multi-chunk stream at {largest}B, \
+             saw {} chunk(s)",
+            chunked_big.chunks_streamed
+        ));
+    }
+
     // --- allocation behaviour of the buffer pool ---
     // Reset, run the batched workload once more, read the thread-local
     // pool statistics: deterministic allocation counts without any
@@ -320,7 +465,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // --- render (fixed key order, integers and strings only) ---
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 3,");
+    let _ = writeln!(out, "  \"schema\": 4,");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"quick\": {},", u8::from(quick));
     let _ = writeln!(
@@ -371,6 +516,30 @@ pub fn run_suite(quick: bool) -> BenchReport {
             p.recovery.as_nanos(),
             p.frames,
             if i + 1 < recovery.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery_chunked\": [\n");
+    for (i, (s, mono, chunked)) in chunked_recovery.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"state_bytes\": {}, \"monolithic_blocking_ns\": {}, \
+             \"chunked_blocking_ns\": {}, \"monolithic_recovery_ns\": {}, \
+             \"chunked_recovery_ns\": {}, \"chunks_streamed\": {}, \"replies\": {}, \
+             \"state_digest\": \"{}\"}}{}",
+            s,
+            mono.blocking_ns,
+            chunked.blocking_ns,
+            mono.recovery_ns,
+            chunked.recovery_ns,
+            chunked.chunks_streamed,
+            chunked.replies,
+            chunked.state_digest,
+            if i + 1 < chunked_recovery.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
         );
     }
     out.push_str("  ],\n");

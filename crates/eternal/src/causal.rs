@@ -70,8 +70,12 @@ pub fn transfer_trace_id(transfer: TransferId) -> u64 {
 pub fn trace_id_of(message: &EternalMessage) -> u64 {
     match message {
         EternalMessage::Iiop { conn, op_seq, .. } => iiop_trace_id(*conn, *op_seq),
+        // Chunks and the closing suffix extend the transfer's chain, so
+        // a chunked recovery reads as one causal episode end to end.
         EternalMessage::StateRetrieval { transfer, .. }
-        | EternalMessage::StateAssignment { transfer, .. } => transfer_trace_id(*transfer),
+        | EternalMessage::StateAssignment { transfer, .. }
+        | EternalMessage::StateChunk { transfer, .. }
+        | EternalMessage::StateSuffix { transfer, .. } => transfer_trace_id(*transfer),
         EternalMessage::ReplicaJoining { .. }
         | EternalMessage::ReplicaFault { .. }
         | EternalMessage::LoadTick { .. }
@@ -258,6 +262,28 @@ mod tests {
     fn infrastructure_messages_are_untraced() {
         let m = EternalMessage::LoadTick { group: GroupId(0) };
         assert_eq!(trace_id_of(&m), 0);
+    }
+
+    #[test]
+    fn chunks_and_suffix_share_the_transfer_trace() {
+        use eternal_sim::net::NodeId;
+        let transfer = TransferId(77);
+        let chunk = EternalMessage::StateChunk {
+            group: GroupId(0),
+            transfer,
+            new_host: NodeId(2),
+            index: 0,
+            total: 3,
+            bytes: vec![1],
+        };
+        let suffix = EternalMessage::StateSuffix {
+            group: GroupId(0),
+            transfer,
+            new_host: NodeId(2),
+            entries: Vec::new(),
+        };
+        assert_eq!(trace_id_of(&chunk), transfer_trace_id(transfer));
+        assert_eq!(trace_id_of(&suffix), transfer_trace_id(transfer));
     }
 
     #[test]

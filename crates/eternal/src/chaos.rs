@@ -21,6 +21,10 @@
 //! 5. **Bounded duplicate-detection memory** — per-processor dedup
 //!    tables stay under a fixed resident cap (§4.1's tables must not
 //!    grow without bound under loss and restarts).
+//! 6. **Bounded log suffix** — passive-group message logs stay under
+//!    the suffix-bound checkpoint trigger's cap at every quiescent
+//!    point: sustained load must not grow replay memory (or warm
+//!    promotion time) without bound (§3.3, docs/RECOVERY.md).
 //!
 //! Everything is derived from [`CampaignConfig::seed`] through
 //! [`SimRng`]: the same seed reproduces the same fault schedule, the
@@ -33,6 +37,7 @@ use crate::app::BurstClient;
 use crate::app::{BlobServant, CounterServant};
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::gid::GroupId;
+use crate::mechanisms::ReplicaPhase;
 use crate::properties::FaultToleranceProperties;
 use eternal_cdr::{Any, Value};
 use eternal_obs::EventKind;
@@ -60,17 +65,23 @@ pub enum FaultKind {
     /// Kill a replica, wait for the §5.1 recovery to start, then crash
     /// the *recovering* host mid-state-transfer.
     KillMidTransfer,
+    /// Kill a replica, wait for the chunked state transfer to start
+    /// streaming, then kill the *donor* replica mid-stream: the next
+    /// operational host must take the stream over from the shared
+    /// cursor rather than restart it from byte zero.
+    KillDonorMidStream,
 }
 
 impl FaultKind {
     /// All kinds, in schedule-draw order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::KillReplica,
         FaultKind::CrashRestart,
         FaultKind::PartitionHeal,
         FaultKind::LossBurst,
         FaultKind::DelaySpike,
         FaultKind::KillMidTransfer,
+        FaultKind::KillDonorMidStream,
     ];
 
     /// Stable display name (summary and trace detail strings).
@@ -82,6 +93,7 @@ impl FaultKind {
             FaultKind::LossBurst => "loss_burst",
             FaultKind::DelaySpike => "delay_spike",
             FaultKind::KillMidTransfer => "kill_mid_transfer",
+            FaultKind::KillDonorMidStream => "kill_donor_mid_stream",
         }
     }
 }
@@ -112,6 +124,18 @@ pub struct CampaignConfig {
     pub settle_cap: Duration,
     /// Upper bound on per-processor dedup residency (invariant 5).
     pub dedup_resident_cap: usize,
+    /// Chunk payload size applied to every processor's
+    /// [`MechConfig::chunk_bytes`](crate::mechanisms::MechConfig):
+    /// small enough that the blob's transfer streams many chunks,
+    /// opening the window [`FaultKind::KillDonorMidStream`] aims at.
+    pub chunk_bytes: usize,
+    /// Suffix-bound checkpoint trigger applied to every processor's
+    /// [`MechConfig::suffix_checkpoint_len`](crate::mechanisms::MechConfig)
+    /// — tight enough that the campaign's warm-passive ledger trips it
+    /// under load. Invariant 6 audits suffixes against twice this value
+    /// (the trigger's fabricated retrieval needs a round trip through
+    /// the total order, during which the suffix keeps growing).
+    pub suffix_checkpoint_len: usize,
     /// Overrides Totem's token-visit batching budget for the run
     /// (`Some(0)` disables batching, `None` keeps the protocol
     /// default). The invariants must hold at any budget — the batching
@@ -148,6 +172,8 @@ impl Default for CampaignConfig {
             settle_slice: Duration::from_millis(10),
             settle_cap: Duration::from_secs(3),
             dedup_resident_cap: 8_192,
+            chunk_bytes: 4_096,
+            suffix_checkpoint_len: 24,
             batch_budget_bytes: None,
             causal: false,
             force_violation: false,
@@ -177,7 +203,7 @@ pub struct Violation {
     pub step: usize,
     /// Invariant name (`convergence`, `exactly-once`,
     /// `bounded-recovery`, `reassembly-orphan`, `dedup-bound`,
-    /// `availability`).
+    /// `suffix-bound`, `availability`).
     pub invariant: &'static str,
     /// What was observed.
     pub detail: String,
@@ -209,6 +235,10 @@ pub struct CampaignSummary {
     pub duplicates_suppressed: u64,
     /// Completed §5.1 recovery episodes.
     pub recoveries_completed: u64,
+    /// Chunked transfers taken over by a surviving host after a donor
+    /// fault, summed over live processors at the end — each one is a
+    /// stream that resumed from its cursor instead of restarting.
+    pub transfer_takeovers: u64,
     /// Request-ids force-skipped by dedup window eviction, summed over
     /// live processors at the end (should stay 0: Totem delivers
     /// reliably, so windows never overflow on gaps).
@@ -270,6 +300,11 @@ impl CampaignSummary {
         );
         let _ = writeln!(
             out,
+            "  \"transfer_takeovers\": {},",
+            self.transfer_takeovers
+        );
+        let _ = writeln!(
+            out,
             "  \"dedup_gaps_skipped\": {},",
             self.dedup_gaps_skipped
         );
@@ -324,8 +359,8 @@ impl fmt::Display for CampaignSummary {
         )?;
         writeln!(
             f,
-            "  recovery: completed={} dedup_gaps_skipped={}",
-            self.recoveries_completed, self.dedup_gaps_skipped
+            "  recovery: completed={} takeovers={} dedup_gaps_skipped={}",
+            self.recoveries_completed, self.transfer_takeovers, self.dedup_gaps_skipped
         )?;
         writeln!(
             f,
@@ -396,6 +431,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     if let Some(budget) = cfg.batch_budget_bytes {
         cluster_cfg.totem.batch_budget_bytes = budget;
     }
+    cluster_cfg.mech.chunk_bytes = cfg.chunk_bytes;
+    cluster_cfg.mech.suffix_checkpoint_len = cfg.suffix_checkpoint_len;
     cluster_cfg.causal = cfg.causal;
     cluster_cfg.health_period = cfg.health_period;
     let cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
@@ -425,10 +462,21 @@ impl Campaign<'_> {
             FaultToleranceProperties::active(3),
             || Box::new(CounterServant::default()),
         );
+        // Three replicas: [`FaultKind::KillDonorMidStream`] consumes
+        // two (the recovering replica and the killed donor) and still
+        // needs an operational survivor to take the stream over.
         let blob = self.cluster.deploy_server(
             "chaos-blob",
-            FaultToleranceProperties::active(2),
+            FaultToleranceProperties::active(3),
             move || Box::new(BlobServant::with_size(blob_size)),
+        );
+        // A warm-passive pair: its primary logs every invocation, so
+        // the suffix-bound checkpoint trigger (and invariant 6) get
+        // exercised, and primary kills go through promotion + replay.
+        let ledger = self.cluster.deploy_server(
+            "chaos-ledger",
+            FaultToleranceProperties::warm_passive(2),
+            || Box::new(CounterServant::default()),
         );
         let counter_driver = self.cluster.deploy_client(
             "chaos-counter-driver",
@@ -440,6 +488,11 @@ impl Campaign<'_> {
             FaultToleranceProperties::active(2),
             move |_| Box::new(BurstClient::new(blob, "touch", burst)),
         );
+        let ledger_driver = self.cluster.deploy_client(
+            "chaos-ledger-driver",
+            FaultToleranceProperties::active(2),
+            move |_| Box::new(BurstClient::new(ledger, "increment", burst)),
+        );
         self.pairs = vec![
             Pair {
                 server: counter,
@@ -450,6 +503,11 @@ impl Campaign<'_> {
                 server: blob,
                 driver: blob_driver,
                 kind: ServerKind::Blob,
+            },
+            Pair {
+                server: ledger,
+                driver: ledger_driver,
+                kind: ServerKind::Counter,
             },
         ];
         self.cluster.run_until_deployed();
@@ -493,6 +551,12 @@ impl Campaign<'_> {
                     let blob = self.pairs[1].server;
                     self.cluster.hosting(blob).len() >= 2
                 }
+                FaultKind::KillDonorMidStream => {
+                    // One host recovers, one donates, one survives to
+                    // take the stream over.
+                    let blob = self.pairs[1].server;
+                    self.cluster.hosting(blob).len() >= 3
+                }
             };
             if applicable {
                 return kind;
@@ -509,6 +573,7 @@ impl Campaign<'_> {
             FaultKind::LossBurst => self.inject_loss_burst(),
             FaultKind::DelaySpike => self.inject_delay_spike(),
             FaultKind::KillMidTransfer => self.inject_kill_mid_transfer(),
+            FaultKind::KillDonorMidStream => self.inject_kill_donor_mid_stream(),
         }
     }
 
@@ -605,6 +670,41 @@ impl Campaign<'_> {
             let downtime = Duration::from_millis(20 + self.rng.gen_range(40));
             self.cluster.run_for(downtime);
             self.cluster.restart_processor(new_host);
+        }
+    }
+
+    fn inject_kill_donor_mid_stream(&mut self) {
+        let blob = self.pairs[1].server;
+        let hosting = self.cluster.hosting(blob);
+        let &victim = self.rng.choose(&hosting).expect("checked applicable");
+        self.cluster.kill_replica(blob, victim);
+        // Run in fine slices until the chunk stream is under way: every
+        // operational host retains a transfer context naming the donor
+        // once the retrieval is delivered.
+        let deadline = self.cluster.now() + Duration::from_millis(200);
+        let donor = loop {
+            let streaming = self
+                .live_processors()
+                .into_iter()
+                .find_map(|n| self.cluster.mechanisms(n).transfer_donor(blob));
+            if let Some(donor) = streaming {
+                break Some(donor);
+            }
+            if self.cluster.now() >= deadline {
+                break None;
+            }
+            self.cluster.run_for(Duration::from_micros(500));
+        };
+        let Some(donor) = donor else {
+            return; // transfer never started; settle handles the rest
+        };
+        // Let a few chunks land, then kill the donor's replica. The
+        // next operational host must resume the stream from the shared
+        // cursor (never from byte zero) for the recovery to converge.
+        let into = Duration::from_micros(200 + self.rng.gen_range(1_800));
+        self.cluster.run_for(into);
+        if self.cluster.is_alive(donor) && self.cluster.hosting(blob).contains(&donor) {
+            self.cluster.kill_replica(blob, donor);
         }
     }
 
@@ -717,6 +817,7 @@ impl Campaign<'_> {
         self.check_recovery_times(step);
         self.check_reassembly(step);
         self.check_dedup_bound(step);
+        self.check_suffix_bound(step);
     }
 
     /// Invariant 1: byte-identical application state across each group's
@@ -735,6 +836,12 @@ impl Campaign<'_> {
             }
             let mut reference: Option<(NodeId, Vec<u8>)> = None;
             for &node in &live {
+                // Warm backups hold a checkpoint + suffix rather than
+                // live state; convergence compares operational replicas.
+                if self.cluster.mechanisms(node).replica_phase(group) == Some(ReplicaPhase::Standby)
+                {
+                    continue;
+                }
                 match self.cluster.probe_application_state(node, group) {
                     None => self.violation(
                         step,
@@ -788,8 +895,8 @@ impl Campaign<'_> {
                     step,
                     "exactly-once",
                     format!(
-                        "{:?}: server executed {executed} ops, driver issued {sent}",
-                        pair.kind
+                        "{:?} {:?}: server executed {executed} ops, driver issued {sent}",
+                        pair.server, pair.kind
                     ),
                 );
             }
@@ -809,11 +916,11 @@ impl Campaign<'_> {
     /// The number of operations a server group has executed, decoded
     /// from the application state of its first live replica.
     fn server_effects(&mut self, pair: Pair) -> Option<u64> {
-        let node = self
-            .cluster
-            .hosting(pair.server)
-            .into_iter()
-            .find(|&n| self.cluster.is_alive(n))?;
+        let node = self.cluster.hosting(pair.server).into_iter().find(|&n| {
+            self.cluster.is_alive(n)
+                && self.cluster.mechanisms(n).replica_phase(pair.server)
+                    == Some(ReplicaPhase::Operational)
+        })?;
         let bytes = self.cluster.probe_application_state(node, pair.server)?;
         let any = Any::from_bytes(&bytes).ok()?;
         match (pair.kind, &any.value) {
@@ -881,6 +988,32 @@ impl Campaign<'_> {
         }
     }
 
+    /// Invariant 6: passive-group log suffixes stay bounded. The
+    /// suffix-bound trigger fabricates a checkpoint once the suffix
+    /// reaches [`CampaignConfig::suffix_checkpoint_len`]; the fabricated
+    /// retrieval needs one round trip through the total order, during
+    /// which logging continues, so the audited cap is twice the
+    /// trigger's threshold.
+    fn check_suffix_bound(&mut self, step: usize) {
+        let threshold = self.cfg.suffix_checkpoint_len;
+        if threshold == 0 {
+            return;
+        }
+        let cap = 2 * threshold;
+        for (group, name) in self.cluster.groups() {
+            for node in self.live_processors() {
+                let len = self.cluster.mechanisms(node).log_suffix_len(group);
+                if len > cap {
+                    self.violation(
+                        step,
+                        "suffix-bound",
+                        format!("{name}@{node}: {len} logged messages at quiescence (cap {cap})"),
+                    );
+                }
+            }
+        }
+    }
+
     /// Invariant 5: duplicate-suppression memory stays bounded.
     fn check_dedup_bound(&mut self, step: usize) {
         let cap = self.cfg.dedup_resident_cap;
@@ -902,6 +1035,11 @@ impl Campaign<'_> {
             .live_processors()
             .iter()
             .map(|&n| self.cluster.mechanisms(n).dedup_gaps_skipped())
+            .sum();
+        let transfer_takeovers = self
+            .live_processors()
+            .iter()
+            .map(|&n| self.cluster.mechanisms(n).counters().transfer_takeovers)
             .sum();
         let mut violations = self.violations;
         if self.cfg.force_violation {
@@ -940,6 +1078,7 @@ impl Campaign<'_> {
             replies_delivered: m.replies_delivered,
             duplicates_suppressed: m.duplicates_suppressed,
             recoveries_completed: m.recoveries_completed,
+            transfer_takeovers,
             dedup_gaps_skipped,
             invariant_checks: self.invariant_checks,
             violations,
@@ -998,5 +1137,105 @@ mod tests {
         let s = run_campaign(&quick(5, 2)).to_string();
         assert!(s.starts_with("chaos campaign: seed=5 steps=2"));
         assert!(s.contains("verdict: PASS"), "{s}");
+    }
+
+    #[test]
+    fn repeated_primary_kills_stay_exactly_once() {
+        // Regression: the checkpoint log deliberately survives the
+        // replica process, so a warm-passive replica recovered onto a
+        // node that hosted a previous incarnation inherited the dead
+        // incarnation's log suffix — whose effects the transferred
+        // state already contains. The next promotion replayed that
+        // stale suffix on top of the synchronized servant, running the
+        // promoted primary ahead of everything the driver ever issued
+        // (executed 56 vs issued 36 by round 1 of this scenario).
+        // `complete_recovery` now re-baselines the log: checkpoint :=
+        // transferred state, suffix := the post-capture traffic only.
+        use crate::app::{BurstClient, CounterServant};
+        use crate::cluster::{Cluster, ClusterConfig};
+        use crate::mechanisms::ReplicaPhase;
+        use crate::properties::FaultToleranceProperties;
+        use eternal_sim::Duration;
+
+        let mut c = Cluster::new(ClusterConfig::default(), 77);
+        let server = c.deploy_server("ledger", FaultToleranceProperties::warm_passive(2), || {
+            Box::new(CounterServant::default())
+        });
+        let driver = c.deploy_client("driver", FaultToleranceProperties::active(2), move |_| {
+            Box::new(BurstClient::new(server, "increment", 4))
+        });
+        c.run_until_deployed();
+        let executed = |c: &mut Cluster| {
+            c.hosting(server)
+                .into_iter()
+                .find_map(|n| {
+                    if c.mechanisms(n).replica_phase(server) == Some(ReplicaPhase::Operational) {
+                        c.probe_application_state(n, server)
+                    } else {
+                        None
+                    }
+                })
+                .map(|b| match eternal_cdr::Any::from_bytes(&b).unwrap().value {
+                    eternal_cdr::Value::ULong(n) => u64::from(n),
+                    _ => 0,
+                })
+        };
+        let issued = |c: &mut Cluster| {
+            c.hosting(driver)
+                .into_iter()
+                .find_map(|n| c.probe_application_state(n, driver))
+                .map(|b| match eternal_cdr::Any::from_bytes(&b).unwrap().value {
+                    eternal_cdr::Value::Struct(m) => match m.as_slice() {
+                        [eternal_cdr::Value::ULongLong(s), _] => *s,
+                        _ => 0,
+                    },
+                    _ => 0,
+                })
+        };
+        let settle = |c: &mut Cluster| {
+            for _ in 0..100 {
+                c.run_for(Duration::from_millis(10));
+                if c.outstanding_calls() == 0 && !c.recovery_in_flight() {
+                    break;
+                }
+            }
+        };
+        // Each round kills the current primary: the standby that
+        // promotes in round N is the replica that RECOVERED in round
+        // N-1, onto a node whose mechanisms logged for the previous
+        // incarnation. Four rounds alternate the two nodes, so both
+        // relaunch-over-stale-log paths are exercised twice.
+        for round in 0..4 {
+            for _ in 0..2 {
+                c.kick_clients();
+                c.run_for(Duration::from_millis(5));
+            }
+            settle(&mut c);
+            let primary = c
+                .hosting(server)
+                .into_iter()
+                .find(|&n| c.mechanisms(n).replica_phase(server) == Some(ReplicaPhase::Operational))
+                .expect("a primary is operational");
+            c.kill_replica(server, primary);
+            for _ in 0..2 {
+                c.kick_clients();
+                c.run_for(Duration::from_millis(5));
+            }
+            settle(&mut c);
+            let (exec, sent) = (executed(&mut c), issued(&mut c));
+            assert!(
+                exec.is_some() && sent.is_some(),
+                "round {round}: probes readable"
+            );
+            assert_eq!(
+                exec, sent,
+                "round {round}: promoted primary executed ops the driver never issued"
+            );
+            assert_eq!(
+                c.hosting(server).len(),
+                2,
+                "round {round}: strength restored"
+            );
+        }
     }
 }

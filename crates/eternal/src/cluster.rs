@@ -167,7 +167,13 @@ struct EpisodeObs {
     /// Donor-side `get_state` finished; the assignment is handed to the
     /// transport.
     send_at: Option<SimTime>,
-    /// The assignment was delivered at the recovering replica.
+    /// When the recovering replica began *holding* traffic rather than
+    /// dropping it — the start of the group-blocking window. Monolithic
+    /// transfers enqueue from the retrieval's delivery; chunked
+    /// transfers only from the last chunk's delivery.
+    enqueue_at: Option<SimTime>,
+    /// The assignment (or chunked-transfer suffix) was delivered at the
+    /// recovering replica.
     assignment_at: Option<SimTime>,
 }
 
@@ -510,6 +516,13 @@ impl Cluster {
             reg.counter_add("eternal.duplicates_suppressed", mech.suppressed());
             reg.counter_add("eternal.checkpoints_logged", c.checkpoints_logged);
             reg.counter_add("eternal.messages_logged", c.messages_logged);
+            reg.counter_add("eternal.chunks_streamed", c.chunks_streamed);
+            reg.counter_add("eternal.chunk_duplicates", c.chunk_duplicates);
+            reg.counter_add("eternal.transfer_takeovers", c.transfer_takeovers);
+            reg.counter_add(
+                "eternal.suffix_checkpoints_triggered",
+                c.suffix_checkpoints_triggered,
+            );
             reg.merge(mech.orb().metrics());
         }
         reg.counter_add("net.frames_sent", self.net.frames_sent());
@@ -522,6 +535,7 @@ impl Cluster {
         let mut dedup = 0i64;
         let mut reasm = 0i64;
         let mut recovering = 0i64;
+        let mut chunks_pending = 0i64;
         for (&node, mech) in &self.mechs {
             if !self.is_alive(node) {
                 continue;
@@ -530,11 +544,13 @@ impl Cluster {
             dedup += mech.dedup_resident() as i64;
             recovering += mech.recovering_replicas() as i64;
             reasm += self.reassembly_pending(node) as i64;
+            chunks_pending += mech.transfer_chunks_pending() as i64;
         }
         reg.gauge_set("eternal.holding_depth", holding);
         reg.gauge_set("eternal.dedup_resident", dedup);
         reg.gauge_set("eternal.reassembly_pending", reasm);
         reg.gauge_set("eternal.recovering_replicas", recovering);
+        reg.gauge_set("eternal.transfer_chunks_pending", chunks_pending);
         reg.gauge_set("eternal.outstanding_calls", self.outstanding_calls() as i64);
         if self.config.health_period > Duration::ZERO {
             reg.gauge_set("health.epochs", self.health_auditor.epochs().len() as i64);
@@ -1152,6 +1168,7 @@ impl Cluster {
             Event::LaunchReplica { node, group } => {
                 if !self.is_alive(node) {
                     self.launch_inflight.remove(&group);
+                    self.restore_strength(group, now);
                     return;
                 }
                 self.pending_launch.insert((group, node), now);
@@ -1550,10 +1567,21 @@ impl Cluster {
         if Some(node) != min_live {
             return;
         }
-        if self.launch_inflight.contains(group) {
+        self.restore_strength(*group, now);
+    }
+
+    /// Launch a replacement if `group` is below its minimum replica
+    /// count and no launch is already in flight. Called from the
+    /// resource-manager fault hook, and again whenever a launch guard
+    /// releases: a replica fault delivered *during* an episode (e.g.
+    /// the state donor dying mid-chunk-stream) is dropped by the
+    /// double-launch guard, so the count must be re-examined once the
+    /// episode ends.
+    fn restore_strength(&mut self, group: GroupId, now: SimTime) {
+        if !self.config.auto_recover || self.launch_inflight.contains(&group) {
             return;
         }
-        let Some(info) = self.groups.get(group) else {
+        let Some(info) = self.groups.get(&group) else {
             return;
         };
         if info.hosting.len() >= info.props.min_replicas {
@@ -1565,6 +1593,9 @@ impl Cluster {
             .filter(|&(_, &up)| up)
             .map(|(&n, _)| n)
             .collect();
+        let Some(&rm_node) = alive.first() else {
+            return;
+        };
         let hosting: Vec<NodeId> = info.hosting.iter().copied().collect();
         if let Some(replacement) = self
             .res_mgr
@@ -1572,16 +1603,16 @@ impl Cluster {
         {
             self.trace.record(
                 now,
-                format!("{node}/resource-manager"),
+                format!("{rm_node}/resource-manager"),
                 EventKind::ReplacementChosen,
                 format!("{group} -> {replacement}"),
             );
-            self.launch_inflight.insert(*group);
+            self.launch_inflight.insert(group);
             self.sched.schedule_after(
                 self.config.launch_delay,
                 Event::LaunchReplica {
                     node: replacement,
-                    group: *group,
+                    group,
                 },
             );
         }
@@ -1709,6 +1740,7 @@ impl Cluster {
                         new_host,
                         capture_begin: None,
                         send_at: None,
+                        enqueue_at: None,
                         assignment_at: None,
                     });
                     if ep.send_at.is_none_or(|s| snd < s) {
@@ -1722,20 +1754,37 @@ impl Cluster {
                     app_state_bytes,
                 } => {
                     self.launch_inflight.remove(&group);
+                    self.restore_strength(group, now);
                     if self.upgrades.contains_key(&group) {
                         // Evolution Manager: this replacement is running
                         // the new implementation; replace the next one.
                         self.upgrade_step(group);
                     }
                     if let Some(t0) = self.pending_launch.remove(&(group, node)) {
+                        // The group-blocking window runs from the instant
+                        // the new replica started holding traffic (see
+                        // `EpisodeObs::enqueue_at`) to reinstatement; an
+                        // episode that never reached the enqueue point
+                        // conservatively counts from launch.
+                        let enqueue_at = self
+                            .episodes
+                            .values()
+                            .filter(|ep| ep.group == group && ep.new_host == node)
+                            .filter_map(|ep| ep.enqueue_at)
+                            .max()
+                            .unwrap_or(t0);
+                        let blocking_window = now - enqueue_at.min(now);
                         self.metrics.recoveries.push(RecoveryRecord {
                             launched_at: t0,
                             operational_at: now,
                             app_state_bytes,
+                            blocking_window,
                         });
                         self.metrics.recoveries_completed += 1;
                         self.registry
                             .histogram_record("eternal.recovery_time", now - t0);
+                        self.registry
+                            .histogram_record("eternal.blocking_window", blocking_window);
                         self.finish_episode(node, group, t0, now, app_state_bytes);
                     }
                     self.trace.record(
@@ -1808,18 +1857,47 @@ impl Cluster {
                 transfer,
                 purpose: RetrievalPurpose::Recovery { new_host },
             } if node == *new_host && self.pending_launch.contains_key(&(*group, *new_host)) => {
-                self.episodes.entry(*transfer).or_insert(EpisodeObs {
+                let ep = self.episodes.entry(*transfer).or_insert(EpisodeObs {
                     group: *group,
                     new_host: *new_host,
                     capture_begin: None,
                     send_at: None,
+                    enqueue_at: None,
                     assignment_at: None,
                 });
+                // Monolithic transfers hold traffic from this instant; a
+                // chunked transfer's last chunk overwrites this below.
+                ep.enqueue_at = Some(now);
             }
             EternalMessage::StateAssignment {
                 transfer,
                 purpose: RetrievalPurpose::Recovery { new_host },
                 ..
+            } if node == *new_host => {
+                if let Some(ep) = self.episodes.get_mut(transfer) {
+                    ep.assignment_at.get_or_insert(now);
+                }
+            }
+            EternalMessage::StateChunk {
+                transfer,
+                new_host,
+                index,
+                total,
+                ..
+            } if node == *new_host => {
+                // The recovering replica drops (rather than holds) its
+                // traffic while chunks stream; the blocking window only
+                // opens at the last chunk's delivery.
+                if let Some(ep) = self
+                    .episodes
+                    .get_mut(transfer)
+                    .filter(|_| index + 1 == *total)
+                {
+                    ep.enqueue_at = Some(now);
+                }
+            }
+            EternalMessage::StateSuffix {
+                transfer, new_host, ..
             } if node == *new_host => {
                 if let Some(ep) = self.episodes.get_mut(transfer) {
                     ep.assignment_at.get_or_insert(now);

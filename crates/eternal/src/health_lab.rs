@@ -76,6 +76,9 @@ pub const fn expected_detector(fault: FaultKind) -> Detector {
         FaultKind::KillReplica => Detector::RecoveryOverrun,
         // Crashing the recovering host prolongs recovery past the SLO.
         FaultKind::KillMidTransfer => Detector::RecoveryOverrun,
+        // Killing the donor mid-chunk-stream does too: the takeover
+        // resumes the stream, but the episode stretches past the SLO.
+        FaultKind::KillDonorMidStream => Detector::RecoveryOverrun,
         // A crashed processor stops publishing; the survivors notice.
         FaultKind::CrashRestart => Detector::ReplicaSilence,
         // Partition + heal forces at least two reformations close
@@ -97,7 +100,9 @@ pub fn auditor_config_for(fault: Option<FaultKind>) -> AuditorConfig {
     match fault {
         // A 60 kB blob transfer takes ~5 ms of virtual time; a 2 ms
         // recovery SLO turns every §5.1 episode into an overrun.
-        Some(FaultKind::KillReplica) | Some(FaultKind::KillMidTransfer) => AuditorConfig {
+        Some(FaultKind::KillReplica)
+        | Some(FaultKind::KillMidTransfer)
+        | Some(FaultKind::KillDonorMidStream) => AuditorConfig {
             recovery_deadline_ns: 2_000_000,
             ..base
         },
@@ -127,12 +132,15 @@ pub fn run_scenario(cfg: &LabConfig) -> LabRun {
         "scenario topology needs >= 4 processors"
     );
     assert!(cfg.period > Duration::ZERO, "health must be on in the lab");
-    let cluster_cfg = ClusterConfig {
+    let mut cluster_cfg = ClusterConfig {
         processors: cfg.processors,
         health_period: cfg.period,
         health_auditor: auditor_config_for(cfg.fault),
         ..ClusterConfig::default()
     };
+    // Small chunks: the blob's transfer streams long enough that the
+    // donor-kill scenario has a window to land in.
+    cluster_cfg.mech.chunk_bytes = 4_096;
     let mut cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
 
     let burst = 4;
@@ -142,9 +150,11 @@ pub fn run_scenario(cfg: &LabConfig) -> LabRun {
         FaultToleranceProperties::active(3),
         || Box::new(CounterServant::default()),
     );
+    // Three replicas: the donor-kill scenario consumes the recovering
+    // replica and the donor and still needs a survivor to take over.
     let blob = cluster.deploy_server(
         "health-blob",
-        FaultToleranceProperties::active(2),
+        FaultToleranceProperties::active(3),
         move || Box::new(BlobServant::with_size(blob_size)),
     );
     cluster.deploy_client(
@@ -263,6 +273,37 @@ fn inject(cluster: &mut Cluster, blob: GroupId, fault: FaultKind) {
                     cluster.crash_processor(new_host);
                     cluster.run_for(Duration::from_millis(40));
                     cluster.restart_processor(new_host);
+                }
+            }
+            cluster.run_for(Duration::from_millis(250));
+        }
+        FaultKind::KillDonorMidStream => {
+            let victim = first_host(cluster, blob);
+            cluster.kill_replica(blob, victim);
+            // Slice forward until the chunk stream is under way (every
+            // operational host retains a context naming the donor),
+            // then kill the donor's replica: a survivor resumes the
+            // stream from the cursor, and the stretched episode
+            // overruns the tightened recovery SLO.
+            let deadline = cluster.now() + Duration::from_millis(200);
+            let donor = loop {
+                let streaming = cluster
+                    .processors()
+                    .into_iter()
+                    .filter(|&n| cluster.is_alive(n))
+                    .find_map(|n| cluster.mechanisms(n).transfer_donor(blob));
+                if let Some(donor) = streaming {
+                    break Some(donor);
+                }
+                if cluster.now() >= deadline {
+                    break None;
+                }
+                cluster.run_for(Duration::from_micros(500));
+            };
+            if let Some(donor) = donor {
+                cluster.run_for(Duration::from_millis(1));
+                if cluster.is_alive(donor) && cluster.hosting(blob).contains(&donor) {
+                    cluster.kill_replica(blob, donor);
                 }
             }
             cluster.run_for(Duration::from_millis(250));

@@ -27,10 +27,10 @@
 //!   matches Eternal's use of its own connections for its own traffic.
 
 use crate::app::{AppInvocation, ClientApp};
-use crate::causal::{iiop_trace_id, HopCtx};
+use crate::causal::{iiop_trace_id, transfer_trace_id, HopCtx};
 use crate::gid::{ConnectionName, Direction, GroupId, OperationId, TransferId};
 use crate::interceptor::{inject_trace_context, Interceptor};
-use crate::message::{EternalMessage, RetrievalPurpose};
+use crate::message::{EternalMessage, RetrievalPurpose, SuffixEntry};
 use crate::properties::{FaultToleranceProperties, ReplicationStyle};
 use crate::recovery::holding::{HeldEntry, HoldingQueue};
 use crate::recovery::state3::{
@@ -228,6 +228,49 @@ impl LocalGroup {
     }
 }
 
+/// One retained side of an in-flight *chunked* state transfer
+/// (docs/RECOVERY.md). Every host that captured the checkpoint at the
+/// mark keeps one — not just the streaming donor — so any of them can
+/// take the stream over from the shared cursor after a donor fault,
+/// without restarting from byte zero.
+#[derive(Debug)]
+struct DonorTransfer {
+    group: GroupId,
+    /// The recovering replica's host.
+    new_host: NodeId,
+    /// Host currently streaming; re-elected deterministically when it
+    /// faults (every retaining host updates this at the same
+    /// total-order point).
+    donor: NodeId,
+    /// The full encoded [`ThreeKindsOfState`] captured at the mark.
+    bytes: Vec<u8>,
+    /// Chunk count of `bytes` at the configured chunk size.
+    total: u32,
+    /// Highest contiguously *delivered* chunk index (`None` before
+    /// chunk 0). Delivery is totally ordered, so the cursor is
+    /// identical on every retaining host — the resume point after a
+    /// takeover.
+    cursor: Option<u32>,
+    /// Ordered group inputs delivered after the mark: the recovering
+    /// replica drops its traffic until the last chunk, and this log is
+    /// the only copy of what it missed.
+    suffix: Vec<SuffixEntry>,
+    /// Whether the suffix window is still open (closes at the last
+    /// chunk's delivery, the same total-order point on every host).
+    logging: bool,
+}
+
+/// Recipient-side reassembly of a chunked transfer.
+#[derive(Debug)]
+struct InboundTransfer {
+    group: GroupId,
+    buf: Vec<u8>,
+    /// Next in-order chunk index expected (duplicates and out-of-order
+    /// repeats from takeover races are ignored).
+    next_index: u32,
+    total: u32,
+}
+
 /// Per-processor counters (aggregated by the cluster into
 /// [`crate::metrics::Metrics`]).
 #[derive(Debug, Clone, Copy, Default)]
@@ -250,6 +293,15 @@ pub struct MechCounters {
     pub dropped_pre_sync: u64,
     /// Messages enqueued at recovering replicas.
     pub enqueued_during_recovery: u64,
+    /// State chunks this processor streamed as a transfer donor.
+    pub chunks_streamed: u64,
+    /// Chunk deliveries ignored as duplicates or out-of-order repeats
+    /// (takeover races and loss-recovery can produce both).
+    pub chunk_duplicates: u64,
+    /// Chunked streams this processor took over after a donor fault.
+    pub transfer_takeovers: u64,
+    /// Checkpoints fabricated by the suffix-bound trigger.
+    pub suffix_checkpoints_triggered: u64,
 }
 
 /// Configuration knobs of the mechanisms.
@@ -271,6 +323,21 @@ pub struct MechConfig {
     /// processor's ORB. The cluster turns this on when its own trace is
     /// enabled; off by default so bench paths allocate nothing.
     pub obs: bool,
+    /// Chunk payload size of the pipelined recovery state transfer
+    /// (docs/RECOVERY.md). 0 restores the monolithic single-assignment
+    /// transfer, which quiesces the group for the whole state.
+    pub chunk_bytes: usize,
+    /// Chunks the streaming donor keeps in flight, self-clocked by
+    /// total-order delivery: chunk `k`'s delivery releases chunk
+    /// `k + chunk_pipeline`.
+    pub chunk_pipeline: usize,
+    /// Passive-group suffix bound (entries): the primary fabricates a
+    /// checkpoint when its log suffix reaches this many messages, so
+    /// replay memory and warm-promotion time stay bounded under
+    /// sustained load. 0 disables.
+    pub suffix_checkpoint_len: usize,
+    /// Passive-group suffix bound (bytes). 0 disables.
+    pub suffix_checkpoint_bytes: usize,
 }
 
 impl Default for MechConfig {
@@ -281,6 +348,10 @@ impl Default for MechConfig {
             transfer_orb_state: true,
             transfer_infra_state: true,
             obs: false,
+            chunk_bytes: 32 * 1024,
+            chunk_pipeline: 4,
+            suffix_checkpoint_len: 2048,
+            suffix_checkpoint_bytes: 4 << 20,
         }
     }
 }
@@ -301,6 +372,21 @@ pub struct Mechanisms {
     /// logged after the `get_state` point must survive the checkpoint's
     /// garbage collection (their effects are not in the captured state).
     checkpoint_marks: HashMap<(GroupId, TransferId), u64>,
+    /// Retained contexts of in-flight chunked transfers this processor
+    /// captured state for (BTreeMap: fault handling iterates it, and
+    /// the multicasts it emits must come out in deterministic order).
+    donor_transfers: BTreeMap<TransferId, DonorTransfer>,
+    /// Chunk streams being reassembled by recovering replicas here.
+    inbound_transfers: BTreeMap<TransferId, InboundTransfer>,
+    /// The transfer each locally recovering replica is bound to, fixed
+    /// at the retrieval's total-order point. A crash-and-relaunch can
+    /// leave chunks of an abandoned transfer in flight; accepting one
+    /// would bind the new replica's sync point to a stream no donor is
+    /// driving any more, wedging the recovery.
+    awaiting_transfer: BTreeMap<GroupId, TransferId>,
+    /// Passive groups whose primary (this processor) has a suffix-bound
+    /// checkpoint retrieval in flight — one at a time per group.
+    suffix_trigger_pending: BTreeSet<GroupId>,
     next_transfer_seq: u64,
     /// Restart count of this processor, stamped into every fabricated
     /// [`TransferId`]. A mechanism instance rebuilt after a crash starts
@@ -347,6 +433,10 @@ impl Mechanisms {
             server_conns: HashMap::new(),
             seen_transfers: HashSet::new(),
             checkpoint_marks: HashMap::new(),
+            donor_transfers: BTreeMap::new(),
+            inbound_transfers: BTreeMap::new(),
+            awaiting_transfer: BTreeMap::new(),
+            suffix_trigger_pending: BTreeSet::new(),
             next_transfer_seq: 0,
             incarnation: 0,
             counters: MechCounters::default(),
@@ -583,6 +673,13 @@ impl Mechanisms {
     /// inside the transferred state), and an enqueueing replica holds
     /// it for replay after `set_state`.
     fn on_load_tick(&mut self, group: GroupId, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
+        // Open chunked-transfer windows on this group log the tick: the
+        // recovering replica drops it, and the suffix is its only copy.
+        for dt in self.donor_transfers.values_mut() {
+            if dt.group == group && dt.logging {
+                dt.suffix.push(SuffixEntry::LoadTick);
+            }
+        }
         let Some(lg) = self.groups.get_mut(&group) else {
             return Vec::new();
         };
@@ -639,6 +736,39 @@ impl Mechanisms {
     /// Ids the dedup horizon was forced past to stay bounded.
     pub fn dedup_gaps_skipped(&self) -> u64 {
         self.dedup.gaps_skipped()
+    }
+
+    /// In-flight chunked transfers retained on this processor.
+    pub fn active_transfers(&self) -> usize {
+        self.donor_transfers.len()
+    }
+
+    /// Chunks not yet delivered across this processor's retained
+    /// transfer contexts (the transfer-progress gauge).
+    pub fn transfer_chunks_pending(&self) -> usize {
+        self.donor_transfers
+            .values()
+            .map(|dt| dt.total as usize - dt.cursor.map_or(0, |c| c as usize + 1))
+            .sum()
+    }
+
+    /// The host currently streaming `group`'s in-flight chunked
+    /// transfer, from this processor's view (fault injection aims
+    /// donor kills with this).
+    pub fn transfer_donor(&self, group: GroupId) -> Option<NodeId> {
+        self.donor_transfers
+            .values()
+            .find(|dt| dt.group == group)
+            .map(|dt| dt.donor)
+    }
+
+    /// Bytes held by the group's local log suffix (the chaos
+    /// suffix-bound invariant watches it).
+    pub fn log_suffix_bytes(&self, group: GroupId) -> usize {
+        self.groups
+            .get(&group)
+            .map(|lg| lg.log.suffix_bytes())
+            .unwrap_or(0)
     }
 
     // ================================================================
@@ -764,6 +894,20 @@ impl Mechanisms {
                 purpose,
                 state,
             } => self.on_assignment(transfer, purpose, state, now, ctx),
+            EternalMessage::StateChunk {
+                group,
+                transfer,
+                new_host,
+                index,
+                total,
+                bytes,
+            } => self.on_state_chunk(group, transfer, new_host, index, total, bytes, now, ctx),
+            EternalMessage::StateSuffix {
+                group,
+                transfer,
+                new_host,
+                entries,
+            } => self.on_state_suffix(group, transfer, new_host, entries, now, ctx),
             EternalMessage::LoadTick { group } => self.on_load_tick(group, now, ctx),
             EternalMessage::Health { .. } => {
                 // The snapshot itself is consumed by the cluster driver
@@ -873,6 +1017,20 @@ impl Mechanisms {
             bytes,
             trace_parent: ctx.parent(),
         };
+        // Open chunked-transfer windows on this group log the input:
+        // the recovering replica drops its traffic until the last chunk
+        // arrives, and the transfer suffix is its only copy.
+        for dt in self.donor_transfers.values_mut() {
+            if dt.group == target_group && dt.logging {
+                dt.suffix.push(SuffixEntry::Iiop {
+                    conn,
+                    direction,
+                    op_seq,
+                    bytes: held.bytes.clone(),
+                });
+            }
+        }
+        let mut trigger_checkpoint = false;
         let to_deliver = {
             let Some(lg) = self.groups.get_mut(&target_group) else {
                 return outs;
@@ -885,6 +1043,21 @@ impl Mechanisms {
                 let tag = ((conn.client.0 as u64) << 32) | op_seq as u64;
                 lg.log.log_message(tag, held.bytes.clone());
                 self.counters.messages_logged += 1;
+                // Bounded suffix: sustained load between periodic
+                // checkpoints must not grow replay memory (or warm
+                // promotion time) without bound. The primary fabricates
+                // an extra checkpoint when the suffix crosses a bound,
+                // one in flight per group at a time.
+                let len_bound = self.config.suffix_checkpoint_len;
+                let byte_bound = self.config.suffix_checkpoint_bytes;
+                let over = (len_bound > 0 && lg.log.suffix_len() >= len_bound)
+                    || (byte_bound > 0 && lg.log.suffix_bytes() >= byte_bound);
+                if over
+                    && lg.primary_host() == Some(self.node)
+                    && self.suffix_trigger_pending.insert(target_group)
+                {
+                    trigger_checkpoint = true;
+                }
             }
             if direction == Direction::Reply {
                 // The group-level outstanding table shrinks at *every*
@@ -916,6 +1089,19 @@ impl Mechanisms {
                 },
             }
         };
+        if trigger_checkpoint {
+            let transfer = self.fresh_transfer_id();
+            self.counters.suffix_checkpoints_triggered += 1;
+            outs.push(Out::Multicast {
+                delay: Duration::ZERO,
+                message: EternalMessage::StateRetrieval {
+                    group: target_group,
+                    transfer,
+                    purpose: RetrievalPurpose::Checkpoint,
+                },
+                trace: TraceTag::NONE,
+            });
+        }
         if let Some(held) = to_deliver {
             outs.extend(self.deliver_to_replica(target_group, held, now, ctx));
         }
@@ -1083,6 +1269,11 @@ impl Mechanisms {
     /// announces it. The replica drops traffic until its `get_state`
     /// synchronization point appears in the total order.
     pub fn launch_recovering_replica(&mut self, group: GroupId) -> Vec<Out> {
+        // Chunk streams aimed at a *previous* incarnation of this
+        // replica must not splice into the new one's recovery; the new
+        // one binds to the retrieval that answers ITS joining.
+        self.inbound_transfers.retain(|_, it| it.group != group);
+        self.awaiting_transfer.remove(&group);
         self.instantiate_replica(group, ReplicaPhase::AwaitingSync);
         vec![Out::Multicast {
             delay: Duration::ZERO,
@@ -1105,6 +1296,12 @@ impl Mechanisms {
     /// exactly the split the paper's three-kinds-of-state analysis
     /// rests on.
     pub fn kill_local_replica(&mut self, group: GroupId) -> Vec<Out> {
+        // Transfer contexts die with the replica process: a dead donor
+        // cannot stream (survivors take over from the shared cursor),
+        // and a dead recipient's partial reassembly is useless.
+        self.donor_transfers.retain(|_, dt| dt.group != group);
+        self.inbound_transfers.retain(|_, it| it.group != group);
+        self.awaiting_transfer.remove(&group);
         let lg = self.groups.get_mut(&group).expect("group registered");
         if lg.replica.take().is_some() {
             if matches!(lg.meta.kind, GroupKind::Server(_)) {
@@ -1223,15 +1420,65 @@ impl Mechanisms {
                 capture_time: self.config.exec_time,
                 app_state_bytes: state.application.len(),
             });
-            outs.push(Out::Multicast {
-                delay: self.config.exec_time + wait,
-                message: EternalMessage::StateAssignment {
-                    transfer,
-                    purpose,
-                    state,
-                },
-                trace: ctx.tag(ctx.trace_id(), get_state),
-            });
+            let chunked =
+                self.config.chunk_bytes > 0 && matches!(purpose, RetrievalPurpose::Recovery { .. });
+            if let (true, RetrievalPurpose::Recovery { new_host }) = (chunked, purpose) {
+                // Chunked transfer (docs/RECOVERY.md): every capturing
+                // host retains the encoded checkpoint and opens the
+                // suffix window; the deterministically elected donor —
+                // the lowest operational host that is not the recipient,
+                // the same choice `on_joining` makes for the issuer —
+                // streams it while the group keeps serving.
+                let bytes = state.to_bytes();
+                let total = bytes.len().div_ceil(self.config.chunk_bytes).max(1) as u32;
+                let donor = self
+                    .groups
+                    .get(&group)
+                    .and_then(|lg| {
+                        lg.operational_hosts
+                            .iter()
+                            .copied()
+                            .find(|&h| h != new_host)
+                    })
+                    .expect("a capturing host exists");
+                let dt = DonorTransfer {
+                    group,
+                    new_host,
+                    donor,
+                    bytes,
+                    total,
+                    cursor: None,
+                    suffix: Vec::new(),
+                    logging: true,
+                };
+                if donor == self.node {
+                    let window = (self.config.chunk_pipeline.max(1) as u32).min(total);
+                    for index in 0..window {
+                        self.counters.chunks_streamed += 1;
+                        outs.push(Self::chunk_multicast(
+                            self.config.chunk_bytes,
+                            &dt,
+                            transfer,
+                            index,
+                            self.config.exec_time + wait,
+                            now,
+                            ctx,
+                            get_state,
+                        ));
+                    }
+                }
+                self.donor_transfers.insert(transfer, dt);
+            } else {
+                outs.push(Out::Multicast {
+                    delay: self.config.exec_time + wait,
+                    message: EternalMessage::StateAssignment {
+                        transfer,
+                        purpose,
+                        state,
+                    },
+                    trace: ctx.tag(ctx.trace_id(), get_state),
+                });
+            }
         }
         // Checkpoint retrievals: every logging host records the log
         // position of the capture point, so the eventual assignment
@@ -1244,19 +1491,303 @@ impl Mechanisms {
                 }
             }
         }
-        // The recovering replica marks the synchronization point and
-        // starts enqueueing (§5.1 step i).
+        // Monolithic mode: the recovering replica marks the
+        // synchronization point and starts enqueueing (§5.1 step i).
+        // In chunked mode the sync point defers to the *last chunk*
+        // delivery — the replica keeps dropping while the stream is in
+        // flight (the retaining hosts' suffix log covers that window),
+        // so the blocking window is O(suffix), not O(state).
         if let RetrievalPurpose::Recovery { new_host } = purpose {
             if new_host == self.node {
-                if let Some(lg) = self.groups.get_mut(&group) {
-                    if let Some(replica) = lg.replica.as_mut() {
-                        if replica.phase == ReplicaPhase::AwaitingSync {
-                            replica.phase = ReplicaPhase::Enqueueing;
-                            replica.holding.mark_sync_point(transfer);
+                if self.config.chunk_bytes == 0 {
+                    if let Some(lg) = self.groups.get_mut(&group) {
+                        if let Some(replica) = lg.replica.as_mut() {
+                            if replica.phase == ReplicaPhase::AwaitingSync {
+                                replica.phase = ReplicaPhase::Enqueueing;
+                                replica.holding.mark_sync_point(transfer);
+                            }
                         }
                     }
+                } else if self.replica_phase(group) == Some(ReplicaPhase::AwaitingSync) {
+                    // Chunked: bind the recovering replica to THIS
+                    // transfer. Chunks of any other (a stream abandoned
+                    // by a crash-and-relaunch) are stale and must not
+                    // become its sync point.
+                    self.awaiting_transfer.insert(group, transfer);
                 }
             }
+        }
+        outs
+    }
+
+    /// Builds the multicast of one state chunk out of a retained
+    /// transfer context. Associated (no `self`) so callers can hold the
+    /// context borrowed from the map while emitting.
+    #[allow(clippy::too_many_arguments)]
+    fn chunk_multicast(
+        chunk_bytes: usize,
+        dt: &DonorTransfer,
+        transfer: TransferId,
+        index: u32,
+        delay: Duration,
+        now: SimTime,
+        ctx: &mut HopCtx,
+        parent: u64,
+    ) -> Out {
+        let start = index as usize * chunk_bytes;
+        let end = (start + chunk_bytes).min(dt.bytes.len());
+        let span = ctx.stamp_new(
+            now,
+            transfer_trace_id(transfer),
+            parent,
+            Hop::StateChunk,
+            &format!("send {}/{} {}B", index + 1, dt.total, end - start),
+        );
+        Out::Multicast {
+            delay,
+            message: EternalMessage::StateChunk {
+                group: dt.group,
+                transfer,
+                new_host: dt.new_host,
+                index,
+                total: dt.total,
+                bytes: dt.bytes[start..end].to_vec(),
+            },
+            trace: ctx.tag(transfer_trace_id(transfer), span),
+        }
+    }
+
+    /// One totally ordered state chunk. Three things happen here, at
+    /// the same total-order point on every processor:
+    ///
+    /// * every retaining host advances the shared cursor (making a
+    ///   takeover resume exactly where the stream left off),
+    /// * the streaming donor releases the next pipelined chunk — or,
+    ///   on the last chunk, closes the suffix window and ships the
+    ///   suffix after the quiescence wait,
+    /// * the recovering replica appends the payload and, on the last
+    ///   chunk, flips to enqueueing (its deferred §5.1 sync point).
+    #[allow(clippy::too_many_arguments)]
+    fn on_state_chunk(
+        &mut self,
+        group: GroupId,
+        transfer: TransferId,
+        new_host: NodeId,
+        index: u32,
+        total: u32,
+        bytes: Vec<u8>,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
+        let mut outs = Vec::new();
+        let last = index + 1 == total;
+        let mut send_next = None;
+        let mut close_suffix = false;
+        if let Some(dt) = self.donor_transfers.get_mut(&transfer) {
+            let expected = dt.cursor.map_or(0, |c| c + 1);
+            if index == expected {
+                dt.cursor = Some(index);
+                if last {
+                    dt.logging = false;
+                    close_suffix = dt.donor == self.node;
+                } else if dt.donor == self.node {
+                    let window = self.config.chunk_pipeline.max(1) as u32;
+                    let next = index + window;
+                    if next < dt.total {
+                        send_next = Some(next);
+                    }
+                }
+            } else {
+                self.counters.chunk_duplicates += 1;
+            }
+        }
+        if let Some(next) = send_next {
+            let dt = self
+                .donor_transfers
+                .get(&transfer)
+                .expect("cursor advanced");
+            self.counters.chunks_streamed += 1;
+            outs.push(Self::chunk_multicast(
+                self.config.chunk_bytes,
+                dt,
+                transfer,
+                next,
+                self.config.exec_time,
+                now,
+                ctx,
+                ctx.parent(),
+            ));
+        }
+        if close_suffix {
+            outs.extend(self.send_suffix(transfer, now, ctx));
+        }
+        // ---- the recovering replica assembles the stream.
+        if new_host == self.node
+            && self.replica_phase(group) == Some(ReplicaPhase::AwaitingSync)
+            && self.awaiting_transfer.get(&group) == Some(&transfer)
+        {
+            let inbound =
+                self.inbound_transfers
+                    .entry(transfer)
+                    .or_insert_with(|| InboundTransfer {
+                        group,
+                        buf: Vec::new(),
+                        next_index: 0,
+                        total,
+                    });
+            if index == inbound.next_index {
+                inbound.buf.extend_from_slice(&bytes);
+                inbound.next_index += 1;
+                ctx.stamp(
+                    now,
+                    Hop::StateChunk,
+                    &format!("recv {}/{} {}B", index + 1, total, bytes.len()),
+                );
+                if last {
+                    // §5.1 step i, deferred: the last chunk is the
+                    // recovering replica's synchronization point — the
+                    // very position where the retaining hosts closed
+                    // their suffix windows. From here traffic is held,
+                    // not dropped; the blocking window starts now.
+                    if let Some(replica) = self
+                        .groups
+                        .get_mut(&group)
+                        .and_then(|lg| lg.replica.as_mut())
+                    {
+                        replica.phase = ReplicaPhase::Enqueueing;
+                        replica.holding.mark_sync_point(transfer);
+                    }
+                }
+            } else {
+                self.counters.chunk_duplicates += 1;
+            }
+        }
+        outs
+    }
+
+    /// The donor's closing step: the last chunk is through, every
+    /// retaining host has closed its suffix window, and the recipient
+    /// is enqueueing. Ship the suffix after the modeled execution delay
+    /// — waiting out any oneway settling window first (§5), the only
+    /// quiescence the chunked protocol ever needs.
+    fn send_suffix(&mut self, transfer: TransferId, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
+        let Some(dt) = self.donor_transfers.get(&transfer) else {
+            return Vec::new();
+        };
+        let group = dt.group;
+        let new_host = dt.new_host;
+        let entries = dt.suffix.clone();
+        let wait = {
+            let Some(replica) = self
+                .groups
+                .get_mut(&group)
+                .and_then(|lg| lg.replica.as_mut())
+            else {
+                return Vec::new();
+            };
+            let wait = replica
+                .quiesce
+                .earliest_quiescence(now)
+                .map(|t| t.saturating_since(now))
+                .unwrap_or(Duration::ZERO);
+            if !wait.is_zero() {
+                replica.quiesce.record_deferral();
+            }
+            wait
+        };
+        let span = ctx.stamp_new(
+            now,
+            transfer_trace_id(transfer),
+            ctx.parent(),
+            Hop::StateChunk,
+            &format!("suffix {} entries", entries.len()),
+        );
+        vec![Out::Multicast {
+            delay: self.config.exec_time + wait,
+            message: EternalMessage::StateSuffix {
+                group,
+                transfer,
+                new_host,
+                entries,
+            },
+            trace: ctx.tag(transfer_trace_id(transfer), span),
+        }]
+    }
+
+    /// The closing suffix of a chunked transfer: the recovering replica
+    /// applies the reassembled checkpoint, replays the suffix, and
+    /// drains its holding queue; everyone else updates the consistent
+    /// view and releases the retained context.
+    fn on_state_suffix(
+        &mut self,
+        group: GroupId,
+        transfer: TransferId,
+        new_host: NodeId,
+        entries: Vec<SuffixEntry>,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
+        // The transfer is over: release the retained context even on
+        // the duplicate deliveries a takeover race can produce.
+        self.donor_transfers.remove(&transfer);
+        if !self.seen_transfers.insert(transfer) {
+            return Vec::new();
+        }
+        let Some(lg) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        // Same consistent-view update as a monolithic Recovery
+        // assignment, at this total-order point on every processor.
+        if lg.meta.props.style == ReplicationStyle::Active {
+            lg.operational_hosts.insert(new_host);
+        } else {
+            lg.standby_hosts.insert(new_host);
+        }
+        if new_host != self.node {
+            return Vec::new();
+        }
+        let Some(inbound) = self.inbound_transfers.remove(&transfer) else {
+            return Vec::new();
+        };
+        // Stale inbound contexts of earlier abandoned transfers for
+        // this group die with the completed one.
+        self.inbound_transfers.retain(|_, it| it.group != group);
+        if inbound.next_index != inbound.total {
+            return Vec::new(); // incomplete stream (stale transfer)
+        }
+        let Ok(state) = ThreeKindsOfState::from_bytes(&inbound.buf) else {
+            return Vec::new();
+        };
+        self.complete_recovery(group, transfer, state, entries, now, ctx)
+    }
+
+    /// Re-opens the pipeline window after a donor takeover: sends the
+    /// chunks after the shared cursor — never from byte zero — or the
+    /// closing suffix if every chunk already made it through and only
+    /// the dead donor's suffix was lost.
+    fn resume_stream(&mut self, transfer: TransferId, now: SimTime, ctx: &mut HopCtx) -> Vec<Out> {
+        let Some(dt) = self.donor_transfers.get(&transfer) else {
+            return Vec::new();
+        };
+        if dt.cursor == Some(dt.total - 1) {
+            return self.send_suffix(transfer, now, ctx);
+        }
+        let window = self.config.chunk_pipeline.max(1) as u32;
+        let first = dt.cursor.map_or(0, |c| c + 1);
+        let last_exclusive = (first + window).min(dt.total);
+        let mut outs = Vec::new();
+        for index in first..last_exclusive {
+            self.counters.chunks_streamed += 1;
+            outs.push(Self::chunk_multicast(
+                self.config.chunk_bytes,
+                dt,
+                transfer,
+                index,
+                self.config.exec_time,
+                now,
+                ctx,
+                ctx.parent(),
+            ));
         }
         outs
     }
@@ -1341,6 +1872,8 @@ impl Mechanisms {
         };
         match purpose {
             RetrievalPurpose::Checkpoint => {
+                // A landed checkpoint re-arms the suffix-bound trigger.
+                self.suffix_trigger_pending.remove(&group);
                 if lg.meta.props.style.logs_checkpoints() && lg.meta.hosts.contains(&self.node) {
                     let mark = self
                         .checkpoint_marks
@@ -1376,20 +1909,23 @@ impl Mechanisms {
                     // discarded once it reaches the queue head.
                     return Vec::new();
                 }
-                self.complete_recovery(group, transfer, state, now, ctx)
+                self.complete_recovery(group, transfer, state, Vec::new(), now, ctx)
             }
         }
     }
 
     /// §5.1 steps v–vi at the recovering replica: overwrite the sync
     /// point with the assignment, apply the three kinds of state in
-    /// order (application, ORB/POA, infrastructure), then dequeue and
+    /// order (application, ORB/POA, infrastructure), replay the
+    /// transfer suffix (chunked transfers only — the inputs the group
+    /// processed while the stream was in flight), then dequeue and
     /// deliver the held messages.
     fn complete_recovery(
         &mut self,
         group: GroupId,
         transfer: TransferId,
         state: ThreeKindsOfState,
+        suffix: Vec<SuffixEntry>,
         now: SimTime,
         ctx: &mut HopCtx,
     ) -> Vec<Out> {
@@ -1409,6 +1945,7 @@ impl Mechanisms {
                 return Vec::new();
             }
         }
+        self.awaiting_transfer.remove(&group);
 
         // Apply in the paper's order (§4.3): application first, then
         // ORB/POA, then infrastructure.
@@ -1420,6 +1957,25 @@ impl Mechanisms {
         self.apply_application_state(group, &state.application);
         self.apply_orb_poa_state(group, &state.orb_poa);
         self.apply_infra_state(group, &state.infrastructure);
+
+        // Re-baseline the checkpoint log for a logging group. The log
+        // deliberately survives the replica process (see
+        // `kill_local_replica`), so on a same-node relaunch it still
+        // holds the previous incarnation's suffix — and the transferred
+        // state already contains those operations' effects. Replaying
+        // the stale suffix over the transferred state at the next
+        // promotion would execute them twice. From this point the
+        // promotion invariant `checkpoint + suffix replay == servant
+        // state` holds: the checkpoint IS the transferred state, and
+        // the transfer suffix + held traffic (delivered after the
+        // capture, so outside it) are re-logged as they replay below.
+        {
+            let lg = self.groups.get_mut(&group).expect("checked by caller");
+            if lg.meta.props.style.logs_checkpoints() {
+                lg.log.clear();
+                lg.log.record_checkpoint(state.to_bytes(), now);
+            }
+        }
 
         // An active group's recovered replica processes traffic; a
         // passive group's becomes a warm standby behind the primary.
@@ -1445,10 +2001,66 @@ impl Mechanisms {
             }
         }
 
+        let mut outs = Vec::new();
+        // Replay the transfer suffix first: the inputs delivered
+        // between the checkpoint mark and the last chunk, which this
+        // replica dropped while the stream was in flight. The replies
+        // it re-produces duplicate the donors' and are suppressed
+        // downstream — exactly like the held traffic that drains next.
+        for entry in suffix {
+            match entry {
+                SuffixEntry::Iiop {
+                    conn,
+                    direction,
+                    op_seq,
+                    bytes,
+                } => {
+                    {
+                        // Same logging discipline as live delivery: the
+                        // capture predates these messages, so the fresh
+                        // log baseline must carry them for a future
+                        // promotion.
+                        let lg = self.groups.get_mut(&group).expect("checked by caller");
+                        if lg.meta.props.style.logs_checkpoints() {
+                            let tag = ((conn.client.0 as u64) << 32) | op_seq as u64;
+                            lg.log.log_message(tag, bytes.clone());
+                        }
+                        if direction == Direction::Reply {
+                            lg.outstanding.remove(&(conn, op_seq));
+                        }
+                    }
+                    if final_phase == ReplicaPhase::Operational {
+                        let saved = (ctx.trace_id(), ctx.parent());
+                        let held_trace = iiop_trace_id(conn, op_seq);
+                        let replay = ctx.stamp_new(
+                            now,
+                            held_trace,
+                            0,
+                            Hop::Replay,
+                            &format!("suffix {conn} op#{op_seq}"),
+                        );
+                        ctx.set_chain(held_trace, replay);
+                        let held = HeldIiop {
+                            conn,
+                            direction,
+                            op_seq,
+                            bytes,
+                            trace_parent: 0,
+                        };
+                        outs.extend(self.deliver_to_replica(group, held, now, ctx));
+                        ctx.set_chain(saved.0, saved.1);
+                    }
+                }
+                SuffixEntry::LoadTick => {
+                    if final_phase == ReplicaPhase::Operational {
+                        outs.extend(self.tick_replica(group, now, ctx));
+                    }
+                }
+            }
+        }
         // Drain the holding queue in order (§5.1 step vi). A replica
         // completing as a standby discards the held traffic (backups
         // take no traffic; the messages are in the local log).
-        let mut outs = Vec::new();
         loop {
             let lg = self.groups.get_mut(&group).expect("checked by caller");
             let Some(replica) = lg.replica.as_mut() else {
@@ -1461,6 +2073,15 @@ impl Mechanisms {
                     // sync point from an abandoned transfer.
                 }
                 Some(HeldEntry::Normal(HeldInput::Iiop(held))) => {
+                    // The re-baselined log starts at the transferred
+                    // state; held messages were delivered after the
+                    // capture, so they belong in its suffix (a standby
+                    // discards them from the replica but must be able
+                    // to replay them at promotion).
+                    if lg.meta.props.style.logs_checkpoints() {
+                        let tag = ((held.conn.client.0 as u64) << 32) | held.op_seq as u64;
+                        lg.log.log_message(tag, held.bytes.clone());
+                    }
                     if held.direction == Direction::Reply {
                         // The transferred outstanding table predates the
                         // held replies; retire them as they drain.
@@ -1593,11 +2214,17 @@ impl Mechanisms {
         let was_primary = lg.is_primary_style() && lg.primary_host() == Some(host);
         lg.operational_hosts.remove(&host);
         lg.standby_hosts.remove(&host);
+        // A suffix-bound checkpoint the dead host may have owed the
+        // group can no longer be assumed in flight; let the trigger
+        // re-arm at the (possibly new) primary.
+        self.suffix_trigger_pending.remove(&group);
+        let mut outs = self.handle_transfer_fault(group, host, now, ctx);
         if !was_primary {
-            return Vec::new();
+            return outs;
         }
         // Primary failed: promote (paper §3.2). The new primary is the
         // lowest-id designated host that is still a candidate.
+        let lg = self.groups.get_mut(&group).expect("present above");
         let style = lg.meta.props.style;
         let candidate = match style {
             ReplicationStyle::WarmPassive => lg.standby_hosts.iter().next().copied(),
@@ -1605,14 +2232,73 @@ impl Mechanisms {
             ReplicationStyle::Active => None,
         };
         let Some(new_primary) = candidate else {
-            return Vec::new();
+            return outs;
         };
         lg.operational_hosts.insert(new_primary);
         lg.standby_hosts.remove(&new_primary);
         if new_primary != self.node {
-            return Vec::new();
+            return outs;
         }
-        self.promote_local(group, now, ctx)
+        outs.extend(self.promote_local(group, now, ctx));
+        outs
+    }
+
+    /// Chunked-transfer fault handling, at the fault's total-order
+    /// point: a dead recipient aborts its transfers (the resource
+    /// manager will relaunch and start a fresh one); a dead streaming
+    /// donor is replaced by the next retaining host, which resumes from
+    /// the shared cursor — never from byte zero.
+    fn handle_transfer_fault(
+        &mut self,
+        group: GroupId,
+        host: NodeId,
+        now: SimTime,
+        ctx: &mut HopCtx,
+    ) -> Vec<Out> {
+        let mut outs = Vec::new();
+        let transfers: Vec<TransferId> = self
+            .donor_transfers
+            .iter()
+            .filter(|(_, dt)| dt.group == group)
+            .map(|(&t, _)| t)
+            .collect();
+        for transfer in transfers {
+            let (recipient, donor) = {
+                let dt = &self.donor_transfers[&transfer];
+                (dt.new_host, dt.donor)
+            };
+            if recipient == host {
+                self.donor_transfers.remove(&transfer);
+                continue;
+            }
+            if donor != host {
+                continue;
+            }
+            // Same election rule as the original choice, against the
+            // already-updated view — identical on every retaining host.
+            let successor = self.groups.get(&group).and_then(|lg| {
+                lg.operational_hosts
+                    .iter()
+                    .copied()
+                    .find(|&h| h != recipient)
+            });
+            let Some(successor) = successor else {
+                // No retaining host left: the transfer dies with its
+                // donors (total group loss is the log's job, §3.3).
+                self.donor_transfers.remove(&transfer);
+                continue;
+            };
+            self.donor_transfers
+                .get_mut(&transfer)
+                .expect("listed")
+                .donor = successor;
+            if successor != self.node {
+                continue;
+            }
+            self.counters.transfer_takeovers += 1;
+            outs.extend(self.resume_stream(transfer, now, ctx));
+        }
+        outs
     }
 
     /// Promotes the local backup to primary: cold-loads the replica if
@@ -1814,19 +2500,34 @@ mod tests {
             rest
         }
 
+        /// Delivers the next queued message to every node; returns the
+        /// message and the non-multicast outs it produced, or `None`
+        /// once the bus has drained. Tests that inject faults at a
+        /// specific total-order point (mid chunk stream, say) drive
+        /// this directly.
+        fn step(
+            &mut self,
+            mechs: &mut [&mut Mechanisms],
+        ) -> Option<(EternalMessage, Vec<(NodeId, Out)>)> {
+            let message = self.queue.pop_front()?;
+            self.now += Duration::from_micros(100);
+            let mut events = Vec::new();
+            for mech in mechs.iter_mut() {
+                let node = mech.node();
+                let outs = with_ctx(|ctx| mech.on_delivered(message.clone(), self.now, ctx));
+                for out in self.collect(outs) {
+                    events.push((node, out));
+                }
+            }
+            Some((message, events))
+        }
+
         /// Drains the queue through every node; returns non-multicast
         /// outs per node id.
         fn run(&mut self, mechs: &mut [&mut Mechanisms]) -> Vec<(NodeId, Out)> {
             let mut events = Vec::new();
-            while let Some(message) = self.queue.pop_front() {
-                self.now += Duration::from_micros(100);
-                for mech in mechs.iter_mut() {
-                    let node = mech.node();
-                    let outs = with_ctx(|ctx| mech.on_delivered(message.clone(), self.now, ctx));
-                    for out in self.collect(outs) {
-                        events.push((node, out));
-                    }
-                }
+            while let Some((_, mut evs)) = self.step(mechs) {
+                events.append(&mut evs);
             }
             events
         }
@@ -2017,6 +2718,291 @@ mod tests {
         let before_b = b.counters().requests_dispatched;
         bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx))); // no-op (already started)
         let _ = (before_a, before_b);
+    }
+
+    /// With a chunk size smaller than the checkpoint, the transfer
+    /// streams several `StateChunk`s and still reinstates the replica
+    /// with byte-identical state.
+    #[test]
+    fn chunked_recovery_streams_and_completes() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let cfg = MechConfig {
+            chunk_bytes: 16,
+            chunk_pipeline: 2,
+            ..MechConfig::default()
+        };
+        let mut a = Mechanisms::new(n(0), cfg.clone());
+        let mut b = Mechanisms::new(n(1), cfg);
+        for m in [&mut a, &mut b] {
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1)],
+                ReplicationStyle::Active,
+            ));
+            m.register_group(client_meta(client, vec![n(0)], server));
+        }
+        a.deploy_local_replica(server);
+        b.deploy_local_replica(server);
+        a.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx)));
+        bus.run(&mut [&mut a, &mut b]);
+
+        bus.collect(b.kill_local_replica(server));
+        bus.run(&mut [&mut a, &mut b]);
+        bus.collect(b.launch_recovering_replica(server));
+        let events = bus.run(&mut [&mut a, &mut b]);
+
+        assert!(
+            events.iter().any(|(node, out)| *node == n(1)
+                && matches!(out, Out::RecoveryComplete { group, .. } if *group == server)),
+            "B recovered over the chunked path"
+        );
+        assert_eq!(b.replica_phase(server), Some(ReplicaPhase::Operational));
+        // The checkpoint exceeded one chunk: it actually streamed.
+        assert!(
+            a.counters().chunks_streamed > 1,
+            "expected a multi-chunk stream, streamed {}",
+            a.counters().chunks_streamed
+        );
+        // No retained transfer contexts linger once the suffix lands.
+        assert_eq!(a.active_transfers(), 0);
+        assert_eq!(b.active_transfers(), 0);
+        assert_eq!(a.transfer_chunks_pending(), 0);
+        // Donor and recovered replica agree byte-for-byte.
+        let donor_state = a.probe_application_state(server);
+        assert!(donor_state.is_some());
+        assert_eq!(donor_state, b.probe_application_state(server));
+    }
+
+    /// Killing the donor mid-stream hands the transfer to the next
+    /// operational host, which resumes from the shared cursor rather
+    /// than restarting from byte zero.
+    #[test]
+    fn donor_takeover_resumes_from_cursor() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let cfg = MechConfig {
+            chunk_bytes: 8,
+            chunk_pipeline: 2,
+            ..MechConfig::default()
+        };
+        let mut a = Mechanisms::new(n(0), cfg.clone());
+        let mut b = Mechanisms::new(n(1), cfg.clone());
+        let mut c = Mechanisms::new(n(2), cfg);
+        for m in [&mut a, &mut b, &mut c] {
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1), n(2)],
+                ReplicationStyle::Active,
+            ));
+            m.register_group(client_meta(client, vec![n(0)], server));
+        }
+        a.deploy_local_replica(server);
+        b.deploy_local_replica(server);
+        c.deploy_local_replica(server);
+        a.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx)));
+        bus.run(&mut [&mut a, &mut b, &mut c]);
+
+        bus.collect(c.kill_local_replica(server));
+        bus.run(&mut [&mut a, &mut b, &mut c]);
+        bus.collect(c.launch_recovering_replica(server));
+
+        // Step until a few chunks have been delivered, then kill the
+        // donor (P0, the lowest operational host) mid-stream.
+        let mut chunk_messages = 0u32;
+        let chunk_total = loop {
+            let (message, _) = bus
+                .step(&mut [&mut a, &mut b, &mut c])
+                .expect("chunk stream under way");
+            if let EternalMessage::StateChunk { total, .. } = &message {
+                chunk_messages += 1;
+                if chunk_messages == 3 {
+                    break *total;
+                }
+            }
+        };
+        assert!(
+            chunk_total > 4,
+            "state must split into enough chunks to interrupt ({chunk_total})"
+        );
+        assert_eq!(c.replica_phase(server), Some(ReplicaPhase::AwaitingSync));
+        bus.collect(a.kill_local_replica(server));
+
+        let mut recovered = false;
+        while let Some((message, events)) = bus.step(&mut [&mut a, &mut b, &mut c]) {
+            if matches!(message, EternalMessage::StateChunk { .. }) {
+                chunk_messages += 1;
+            }
+            recovered |= events.iter().any(|(node, out)| {
+                *node == n(2)
+                    && matches!(out, Out::RecoveryComplete { group, .. } if *group == server)
+            });
+        }
+        assert!(recovered, "takeover completed the recovery");
+        assert_eq!(
+            b.counters().transfer_takeovers,
+            1,
+            "P1 resumed the orphaned stream"
+        );
+        // Resumption from the cursor: at most the pipeline window's
+        // worth of chunks is ever re-sent, never the whole stream.
+        assert!(
+            chunk_messages <= chunk_total + 2,
+            "{chunk_messages} chunk sends for a {chunk_total}-chunk checkpoint"
+        );
+        assert_eq!(c.replica_phase(server), Some(ReplicaPhase::Operational));
+        assert_eq!(
+            b.probe_application_state(server),
+            c.probe_application_state(server)
+        );
+    }
+
+    /// Under sustained load a passive primary fabricates checkpoints
+    /// when its log suffix hits the configured bound, without anyone
+    /// calling `checkpoint_due`.
+    #[test]
+    fn suffix_bound_triggers_checkpoint() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let cfg = MechConfig {
+            suffix_checkpoint_len: 3,
+            ..MechConfig::default()
+        };
+        let mut a = Mechanisms::new(n(0), cfg.clone());
+        let mut b = Mechanisms::new(n(1), cfg);
+        for m in [&mut a, &mut b] {
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1)],
+                ReplicationStyle::WarmPassive,
+            ));
+            m.register_group(GroupMeta {
+                id: client,
+                name: "client-stream".into(),
+                props: FaultToleranceProperties::active(1),
+                hosts: vec![n(0)],
+                kind: GroupKind::Client(Box::new(move |_| {
+                    Box::new(StreamingClient::new(server, "increment", 1).with_limit(12))
+                })),
+            });
+        }
+        a.deploy_local_replica(server); // primary
+        b.deploy_local_replica(server); // warm backup
+        a.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx)));
+        bus.run(&mut [&mut a, &mut b]);
+
+        assert!(
+            a.counters().suffix_checkpoints_triggered >= 2,
+            "12 logged messages against a bound of 3 should trigger repeatedly, got {}",
+            a.counters().suffix_checkpoints_triggered
+        );
+        assert!(
+            b.counters().suffix_checkpoints_triggered == 0,
+            "only the primary fabricates the checkpoint retrieval"
+        );
+        // The fabricated checkpoints were recorded at BOTH hosts, in
+        // lock-step, and kept the replay suffix bounded.
+        assert_eq!(a.checkpoints_taken(server), b.checkpoints_taken(server));
+        assert!(a.checkpoints_taken(server) >= 2);
+        assert!(
+            a.log_suffix_len(server) <= 3,
+            "suffix stays bounded at quiescence ({} entries)",
+            a.log_suffix_len(server)
+        );
+        assert_eq!(a.log_suffix_len(server), b.log_suffix_len(server));
+    }
+
+    /// The surviving replica keeps dispatching invocations while the
+    /// checkpoint streams: the group does not quiesce for the bulk of
+    /// the transfer.
+    #[test]
+    fn chunked_transfer_covers_midstream_traffic() {
+        let server = GroupId(0);
+        let client = GroupId(1);
+        let cfg = MechConfig {
+            chunk_bytes: 8,
+            chunk_pipeline: 2,
+            ..MechConfig::default()
+        };
+        let mut a = Mechanisms::new(n(0), cfg.clone());
+        let mut b = Mechanisms::new(n(1), cfg);
+        for m in [&mut a, &mut b] {
+            m.register_group(server_meta(
+                server,
+                vec![n(0), n(1)],
+                ReplicationStyle::Active,
+            ));
+            m.register_group(GroupMeta {
+                id: client,
+                name: "client-stream".into(),
+                props: FaultToleranceProperties::active(1),
+                hosts: vec![n(0)],
+                kind: GroupKind::Client(Box::new(move |_| {
+                    Box::new(StreamingClient::new(server, "increment", 1).with_limit(40))
+                })),
+            });
+        }
+        a.deploy_local_replica(server);
+        b.deploy_local_replica(server);
+        a.deploy_local_replica(client);
+
+        let mut bus = Bus::new();
+        bus.collect(with_ctx(|ctx| a.start_clients(SimTime::ZERO, ctx)));
+        // Let some traffic through, then fail B with the queue still
+        // busy; step past the fault's total-order point (the stream of
+        // client follow-ups keeps the bus from draining).
+        for _ in 0..6 {
+            bus.step(&mut [&mut a, &mut b]).expect("traffic flowing");
+        }
+        bus.collect(b.kill_local_replica(server));
+        loop {
+            let (message, _) = bus
+                .step(&mut [&mut a, &mut b])
+                .expect("traffic keeps the bus busy");
+            if matches!(message, EternalMessage::ReplicaFault { .. }) {
+                break;
+            }
+        }
+        bus.collect(b.launch_recovering_replica(server));
+
+        let mut dispatched_at_first_chunk = None;
+        let mut dispatched_at_last_chunk = None;
+        let mut recovered = false;
+        while let Some((message, events)) = bus.step(&mut [&mut a, &mut b]) {
+            if let EternalMessage::StateChunk { index, total, .. } = message {
+                if index == 0 {
+                    dispatched_at_first_chunk = Some(a.counters().requests_dispatched);
+                }
+                if index + 1 == total {
+                    dispatched_at_last_chunk = Some(a.counters().requests_dispatched);
+                }
+            }
+            recovered |= events.iter().any(|(node, out)| {
+                *node == n(1)
+                    && matches!(out, Out::RecoveryComplete { group, .. } if *group == server)
+            });
+        }
+        assert!(recovered, "B recovered mid-load");
+        let first = dispatched_at_first_chunk.expect("stream started");
+        let last = dispatched_at_last_chunk.expect("stream finished");
+        assert!(
+            last > first,
+            "the group kept serving while state streamed ({first} → {last} dispatches)"
+        );
+        assert_eq!(b.replica_phase(server), Some(ReplicaPhase::Operational));
+        assert_eq!(
+            a.probe_application_state(server),
+            b.probe_application_state(server)
+        );
     }
 
     #[test]

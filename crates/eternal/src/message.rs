@@ -106,6 +106,104 @@ pub enum EternalMessage {
         /// The publisher's self-measurement.
         snap: HealthSnapshot,
     },
+    /// One fixed-size slice of a checkpoint captured at the transfer's
+    /// synchronization mark (docs/RECOVERY.md): the chunked replacement
+    /// for a monolithic recovery `StateAssignment`. Chunks stream
+    /// through the total order while the group keeps serving; the
+    /// delivery of the **last** chunk (`index == total - 1`) is the
+    /// shared total-order point at which the recovering replica starts
+    /// enqueueing and the donors close their suffix logs.
+    StateChunk {
+        /// The group whose state is being transferred.
+        group: GroupId,
+        /// The transfer this chunk belongs to.
+        transfer: TransferId,
+        /// The processor hosting the recovering replica.
+        new_host: NodeId,
+        /// This chunk's position, `0..total`.
+        index: u32,
+        /// Total chunks in the checkpoint.
+        total: u32,
+        /// The checkpoint byte slice.
+        bytes: Vec<u8>,
+    },
+    /// The post-mark suffix closing a chunked transfer: every ordered
+    /// input the group received between the synchronization mark and
+    /// the last chunk's delivery, replayed by the recovering replica
+    /// after it applies the chunked checkpoint. The blocking (holding-
+    /// queue) window of a chunked recovery spans only this message's
+    /// flight time — O(suffix), not O(state size).
+    StateSuffix {
+        /// The group whose transfer is closing.
+        group: GroupId,
+        /// The transfer being closed.
+        transfer: TransferId,
+        /// The processor hosting the recovering replica.
+        new_host: NodeId,
+        /// The logged post-mark inputs, in delivery order.
+        entries: Vec<SuffixEntry>,
+    },
+}
+
+/// One totally ordered input logged between a chunked transfer's
+/// synchronization mark and its last chunk — exactly what the
+/// recovering replica would have held in its queue had it been
+/// enqueueing over that window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuffixEntry {
+    /// An intercepted IIOP message targeted at the recovering group.
+    Iiop {
+        /// The logical client→server connection.
+        conn: ConnectionName,
+        /// Request or reply.
+        direction: Direction,
+        /// The Eternal-generated operation identifier.
+        op_seq: u32,
+        /// The verbatim IIOP bytes.
+        bytes: Vec<u8>,
+    },
+    /// A load tick ordered for the recovering (client) group.
+    LoadTick,
+}
+
+fn encode_suffix_entry(enc: &mut CdrEncoder, entry: &SuffixEntry) {
+    match entry {
+        SuffixEntry::Iiop {
+            conn,
+            direction,
+            op_seq,
+            bytes,
+        } => {
+            enc.write_u8(0);
+            enc.write_u32(conn.client.0);
+            enc.write_u32(conn.server.0);
+            enc.write_u8(match direction {
+                Direction::Request => 0,
+                Direction::Reply => 1,
+            });
+            enc.write_u32(*op_seq);
+            enc.write_octet_seq(bytes);
+        }
+        SuffixEntry::LoadTick => enc.write_u8(1),
+    }
+}
+
+fn decode_suffix_entry(dec: &mut CdrDecoder<'_>) -> Result<SuffixEntry, CdrError> {
+    Ok(match dec.read_u8()? {
+        0 => SuffixEntry::Iiop {
+            conn: ConnectionName {
+                client: GroupId(dec.read_u32()?),
+                server: GroupId(dec.read_u32()?),
+            },
+            direction: match dec.read_u8()? {
+                0 => Direction::Request,
+                _ => Direction::Reply,
+            },
+            op_seq: dec.read_u32()?,
+            bytes: dec.read_octet_seq()?,
+        },
+        _ => SuffixEntry::LoadTick,
+    })
 }
 
 impl EternalMessage {
@@ -137,6 +235,15 @@ impl EternalMessage {
             EternalMessage::Health { snap } => {
                 format!("health P{} seq#{}", snap.node, snap.seq)
             }
+            EternalMessage::StateChunk {
+                transfer,
+                index,
+                total,
+                ..
+            } => format!("state_chunk {transfer} {}/{total}", index + 1),
+            EternalMessage::StateSuffix {
+                transfer, entries, ..
+            } => format!("state_suffix {transfer} {} entries", entries.len()),
         }
     }
 
@@ -223,6 +330,37 @@ impl EternalMessage {
                     enc.write_u64(d);
                 }
             }
+            EternalMessage::StateChunk {
+                group,
+                transfer,
+                new_host,
+                index,
+                total,
+                bytes,
+            } => {
+                enc.write_u8(7);
+                enc.write_u32(group.0);
+                enc.write_u64(transfer.0);
+                enc.write_u32(new_host.0);
+                enc.write_u32(*index);
+                enc.write_u32(*total);
+                enc.write_octet_seq(bytes);
+            }
+            EternalMessage::StateSuffix {
+                group,
+                transfer,
+                new_host,
+                entries,
+            } => {
+                enc.write_u8(8);
+                enc.write_u32(group.0);
+                enc.write_u64(transfer.0);
+                enc.write_u32(new_host.0);
+                enc.write_u32(entries.len() as u32);
+                for entry in entries {
+                    encode_suffix_entry(&mut enc, entry);
+                }
+            }
         }
         enc.into_bytes()
     }
@@ -297,6 +435,30 @@ impl EternalMessage {
                     snap.digests.push((g, d));
                 }
                 EternalMessage::Health { snap }
+            }
+            7 => EternalMessage::StateChunk {
+                group: GroupId(dec.read_u32()?),
+                transfer: TransferId(dec.read_u64()?),
+                new_host: NodeId(dec.read_u32()?),
+                index: dec.read_u32()?,
+                total: dec.read_u32()?,
+                bytes: dec.read_octet_seq()?,
+            },
+            8 => {
+                let group = GroupId(dec.read_u32()?);
+                let transfer = TransferId(dec.read_u64()?);
+                let new_host = NodeId(dec.read_u32()?);
+                let n = dec.read_u32()?;
+                let mut entries = Vec::with_capacity(n.min(4096) as usize);
+                for _ in 0..n {
+                    entries.push(decode_suffix_entry(&mut dec)?);
+                }
+                EternalMessage::StateSuffix {
+                    group,
+                    transfer,
+                    new_host,
+                    entries,
+                }
             }
             other => return Err(CdrError::UnknownTypeCodeKind(other as u32)),
         })
@@ -590,6 +752,40 @@ mod tests {
                     digest_epoch: HealthSnapshot::NO_DIGEST,
                     ..HealthSnapshot::default()
                 },
+            },
+            EternalMessage::StateChunk {
+                group: GroupId(3),
+                transfer: TransferId(9),
+                new_host: NodeId(4),
+                index: 2,
+                total: 7,
+                bytes: vec![0xAB; 4096],
+            },
+            EternalMessage::StateSuffix {
+                group: GroupId(3),
+                transfer: TransferId(9),
+                new_host: NodeId(4),
+                entries: vec![
+                    SuffixEntry::Iiop {
+                        conn: conn(),
+                        direction: Direction::Request,
+                        op_seq: 17,
+                        bytes: vec![1, 2, 3, 4],
+                    },
+                    SuffixEntry::LoadTick,
+                    SuffixEntry::Iiop {
+                        conn: conn(),
+                        direction: Direction::Reply,
+                        op_seq: 17,
+                        bytes: vec![5, 6],
+                    },
+                ],
+            },
+            EternalMessage::StateSuffix {
+                group: GroupId(1),
+                transfer: TransferId(2),
+                new_host: NodeId(0),
+                entries: Vec::new(),
             },
         ]
     }

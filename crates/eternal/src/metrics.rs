@@ -46,6 +46,13 @@ pub struct RecoveryRecord {
     pub operational_at: SimTime,
     /// Bytes of application-level state transferred.
     pub app_state_bytes: usize,
+    /// The group-blocking window: how long the recovering replica held
+    /// (rather than dropped or processed) its traffic. Monolithic
+    /// transfers block from the retrieval's delivery — O(state size);
+    /// chunked transfers block only from the last chunk's delivery —
+    /// O(suffix). The `recovery_chunked` bench section compares the
+    /// two.
+    pub blocking_window: Duration,
 }
 
 impl RecoveryRecord {
@@ -145,8 +152,10 @@ mod tests {
             launched_at: SimTime::from_nanos(100),
             operational_at: SimTime::from_nanos(350),
             app_state_bytes: 10,
+            blocking_window: Duration::from_nanos(40),
         };
         assert_eq!(r.recovery_time(), Duration::from_nanos(250));
+        assert!(r.blocking_window < r.recovery_time());
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct CheckpointLog {
     checkpoint: Option<(Vec<u8>, SimTime)>,
     /// Messages delivered after the checkpoint, in delivery order.
     messages: Vec<LoggedMessage>,
+    /// Running byte total of `messages` (the suffix-bound trigger
+    /// consults it on every logged message; recomputing would be O(n)
+    /// per append).
+    suffix_byte_total: usize,
     next_order: u64,
     checkpoints_taken: u64,
     messages_logged: u64,
@@ -63,11 +67,20 @@ impl CheckpointLog {
     /// Records a checkpoint captured at log position `mark` (see
     /// [`CheckpointLog::mark`]): messages logged at or after the mark are
     /// retained as the new suffix.
+    ///
+    /// A mark beyond the current position discards nothing: such a mark
+    /// was taken against an earlier incarnation of this log (before a
+    /// [`CheckpointLog::clear`]), so every message in the current
+    /// incarnation was logged *after* the capture point and honouring
+    /// the stale mark literally would garbage-collect messages whose
+    /// effects are not in the checkpoint.
     pub fn record_checkpoint_at_mark(&mut self, state: Vec<u8>, at: SimTime, mark: u64) {
+        let mark = if mark > self.next_order { 0 } else { mark };
         self.checkpoint = Some((state, at));
         let before = self.messages.len();
         self.messages.retain(|m| m.order >= mark);
         self.messages_discarded += (before - self.messages.len()) as u64;
+        self.suffix_byte_total = self.messages.iter().map(|m| m.bytes.len()).sum();
         self.checkpoints_taken += 1;
     }
 
@@ -76,6 +89,7 @@ impl CheckpointLog {
         let order = self.next_order;
         self.next_order += 1;
         self.messages_logged += 1;
+        self.suffix_byte_total += bytes.len();
         self.messages.push(LoggedMessage { order, tag, bytes });
     }
 
@@ -94,9 +108,10 @@ impl CheckpointLog {
         self.messages.len()
     }
 
-    /// Bytes held by the suffix (for resource accounting).
+    /// Bytes held by the suffix (for resource accounting and the
+    /// suffix-bound checkpoint trigger, which checks it per message).
     pub fn suffix_bytes(&self) -> usize {
-        self.messages.iter().map(|m| m.bytes.len()).sum()
+        self.suffix_byte_total
     }
 
     /// Total checkpoints recorded over the log's lifetime.
@@ -115,9 +130,15 @@ impl CheckpointLog {
     }
 
     /// Clears everything (when a group is withdrawn from a processor).
+    ///
+    /// The order counter and the lifetime counters reset too: a
+    /// re-hosted group starts a fresh log incarnation. Leaving
+    /// `next_order` running would let a `mark()` taken before the clear
+    /// garbage-collect the wrong suffix afterwards, and carrying the old
+    /// counters forward would report phantom `messages_discarded` (and
+    /// friends) against the new hosting.
     pub fn clear(&mut self) {
-        self.checkpoint = None;
-        self.messages.clear();
+        *self = Self::default();
     }
 }
 
@@ -195,5 +216,81 @@ mod tests {
         log.clear();
         assert!(log.checkpoint().is_none());
         assert_eq!(log.suffix_len(), 0);
+    }
+
+    #[test]
+    fn clear_resets_order_and_lifetime_counters() {
+        // Regression: `clear()` left `next_order` and the lifetime
+        // counters running, so a re-hosted group inherited the previous
+        // incarnation's accounting (phantom `messages_discarded`) and a
+        // pre-clear mark could GC the wrong suffix.
+        let mut log = CheckpointLog::new();
+        for i in 0..5u8 {
+            log.log_message(0, vec![i]);
+        }
+        log.record_checkpoint(vec![9], SimTime::from_nanos(1));
+        assert_eq!(log.messages_discarded(), 5);
+        log.clear();
+        assert_eq!(log.mark(), 0, "order counter restarts");
+        assert_eq!(log.checkpoints_taken(), 0);
+        assert_eq!(log.messages_logged(), 0);
+        assert_eq!(log.messages_discarded(), 0, "no phantom discards");
+        // The fresh incarnation numbers from zero again.
+        log.log_message(0, vec![7]);
+        assert_eq!(log.suffix()[0].order, 0);
+    }
+
+    #[test]
+    fn stale_mark_from_before_clear_is_clamped() {
+        // Regression: a mark taken before a withdraw/re-host cycle is
+        // numerically ahead of the cleared log's order counter; applying
+        // it verbatim would discard post-capture messages whose effects
+        // the checkpoint does not contain.
+        let mut log = CheckpointLog::new();
+        for i in 0..10u8 {
+            log.log_message(0, vec![i]);
+        }
+        let stale_mark = log.mark(); // 10, against the old incarnation
+        log.clear();
+        log.log_message(0, vec![100]); // logged *after* the capture point
+        log.log_message(0, vec![101]);
+        log.record_checkpoint_at_mark(vec![1], SimTime::from_nanos(2), stale_mark);
+        let kept: Vec<u8> = log.suffix().iter().map(|m| m.bytes[0]).collect();
+        assert_eq!(kept, vec![100, 101], "post-capture messages survive");
+        assert_eq!(log.messages_discarded(), 0);
+    }
+
+    #[test]
+    fn mark_zero_on_fresh_log_discards_nothing() {
+        let mut log = CheckpointLog::new();
+        log.record_checkpoint_at_mark(vec![1], SimTime::ZERO, 0);
+        assert_eq!(log.messages_discarded(), 0);
+        assert_eq!(log.checkpoints_taken(), 1);
+        // And after a clear, mark 0 against the new incarnation keeps
+        // the messages logged since.
+        log.clear();
+        log.log_message(0, vec![5]);
+        log.record_checkpoint_at_mark(vec![2], SimTime::from_nanos(3), 0);
+        assert_eq!(log.suffix_len(), 1, "post-mark message retained");
+        assert_eq!(log.messages_discarded(), 0);
+    }
+
+    #[test]
+    fn discard_accounting_across_clear_rehost_cycles() {
+        let mut log = CheckpointLog::new();
+        for cycle in 0..3 {
+            for i in 0..4u8 {
+                log.log_message(0, vec![i]);
+            }
+            let mark = log.mark();
+            log.log_message(0, vec![99]); // in flight during capture
+            log.record_checkpoint_at_mark(vec![cycle], SimTime::from_nanos(u64::from(cycle)), mark);
+            assert_eq!(
+                log.messages_discarded(),
+                4,
+                "each incarnation counts only its own discards"
+            );
+            log.clear();
+        }
     }
 }

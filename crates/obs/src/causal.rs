@@ -92,6 +92,10 @@ pub enum Hop {
     SetState,
     /// A held message was replayed after `set_state` (step vi).
     Replay,
+    /// One chunk of a chunked state transfer progressed (streamed at
+    /// the donor or accepted at the recovering replica) — the
+    /// chunk-level progress hops of docs/RECOVERY.md.
+    StateChunk,
 }
 
 impl Hop {
@@ -109,6 +113,7 @@ impl Hop {
             Hop::GetState => "recovery.get_state",
             Hop::SetState => "recovery.set_state",
             Hop::Replay => "recovery.replay",
+            Hop::StateChunk => "recovery.state_chunk",
         }
     }
 }

@@ -219,6 +219,191 @@ fn recovery_completes_under_message_loss() {
     assert_converged(&mut c, server, 2);
 }
 
+/// Cluster with the chunked transfer forced into a long stream: 4 kB
+/// chunks over a 200 kB blob is a ~49-chunk pipeline, leaving a wide
+/// window for faults to land mid-stream.
+fn chunked_cluster(seed: u64) -> Cluster {
+    let mut config = ClusterConfig::default();
+    config.mech.chunk_bytes = 4_096;
+    Cluster::new(config, seed)
+}
+
+/// Block until some live processor reports an elected donor for
+/// `group` — i.e. the chunk stream is running — and return the donor.
+fn wait_for_donor(c: &mut Cluster, group: GroupId) -> eternal_sim::net::NodeId {
+    let deadline = c.now() + Duration::from_millis(200);
+    loop {
+        c.run_for(Duration::from_micros(500));
+        let donor = c
+            .processors()
+            .into_iter()
+            .filter(|&n| c.is_alive(n))
+            .find_map(|n| c.mechanisms(n).transfer_donor(group));
+        if let Some(d) = donor {
+            return d;
+        }
+        assert!(c.now() < deadline, "chunk stream never started");
+    }
+}
+
+/// The donor dies mid-chunk-stream. The surviving replica — which
+/// captured and retained the same checkpoint at the same mark — must
+/// take the stream over from the shared cursor (every retaining host
+/// tracks the highest contiguously delivered chunk through the total
+/// order), not restart the transfer from byte zero. Both the original
+/// episode and the relaunch of the donor's own replica must complete,
+/// and the group must converge byte-identically at full strength.
+#[test]
+fn donor_death_mid_chunk_stream_resumes_from_cursor() {
+    let mut c = chunked_cluster(11);
+    let limit: u64 = 2_000;
+    let server = c.deploy_server("blob", FaultToleranceProperties::active(3), || {
+        Box::new(BlobServant::with_size(200_000))
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4).with_limit(limit))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(50));
+
+    let victim = c.hosting(server)[0];
+    c.kill_replica(server, victim);
+    let donor = wait_for_donor(&mut c, server);
+    c.run_for(Duration::from_millis(1));
+    c.kill_replica(server, donor);
+
+    // Drain: both the original episode and the relaunch of the donor's
+    // own replica must complete, and the bounded workload must finish.
+    let deadline = c.now() + Duration::from_secs(60);
+    loop {
+        c.run_for(Duration::from_millis(10));
+        if c.metrics().replies_delivered >= limit
+            && c.outstanding_calls() == 0
+            && !c.recovery_in_flight()
+            && c.hosting(server).len() == 3
+        {
+            break;
+        }
+        assert!(c.now() < deadline, "group never returned to full strength");
+    }
+    let takeovers: u64 = c
+        .processors()
+        .into_iter()
+        .filter(|&n| c.is_alive(n))
+        .map(|n| c.mechanisms(n).counters().transfer_takeovers)
+        .sum();
+    assert!(
+        takeovers >= 1,
+        "survivor should resume the stream from the shared cursor"
+    );
+    assert!(c.metrics().recoveries_completed >= 2);
+    assert_converged(&mut c, server, 3);
+}
+
+/// The recovering host crashes mid-chunk-stream. The donor's
+/// remaining chunks and suffix messages for the aborted transfer must
+/// not resurrect the episode (the chunked analogue of the
+/// `StateCaptured` regression above), and a fresh episode must bring
+/// the group back to full strength.
+#[test]
+fn crash_of_recovering_host_mid_chunk_stream_releases_machinery() {
+    let mut c = chunked_cluster(4);
+    let limit: u64 = 2_000;
+    let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
+        Box::new(BlobServant::with_size(200_000))
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4).with_limit(limit))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(50));
+
+    let victim = c.hosting(server)[0];
+    c.kill_replica(server, victim);
+    wait_for_donor(&mut c, server);
+    let (_, new_host) = c
+        .pending_launches()
+        .into_iter()
+        .find(|&(g, _)| g == server)
+        .expect("recovery mid-flight");
+    c.crash_processor(new_host);
+
+    // Drain to quiescence before probing: the fresh episode must
+    // complete and the bounded workload must finish.
+    let deadline = c.now() + Duration::from_secs(60);
+    loop {
+        c.run_for(Duration::from_millis(10));
+        if c.metrics().replies_delivered >= limit
+            && c.outstanding_calls() == 0
+            && !c.recovery_in_flight()
+            && c.hosting(server).len() == 2
+        {
+            break;
+        }
+        assert!(c.now() < deadline, "group never returned to full strength");
+    }
+    assert!(
+        !c.recovery_in_flight(),
+        "aborted chunked episode resurrected: {:?}",
+        c.pending_launches()
+    );
+    assert_converged(&mut c, server, 2);
+}
+
+/// A partition cuts the donor off mid-chunk-stream and heals shortly
+/// after. Whichever path the membership machinery takes — resuming
+/// the stream after the reformation or abandoning the episode and
+/// launching a fresh one — the group must converge byte-identically
+/// at full strength once the ring is whole again. The driver is
+/// bounded and drained before the kill so the only traffic in flight
+/// across the partition is the chunk stream itself.
+#[test]
+fn partition_heal_with_chunks_in_flight_converges() {
+    let mut c = chunked_cluster(9);
+    let limit: u64 = 200;
+    let server = c.deploy_server("blob", FaultToleranceProperties::active(2), || {
+        Box::new(BlobServant::with_size(200_000))
+    });
+    c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "touch", 4).with_limit(limit))
+    });
+    c.run_until_deployed();
+    let deadline = c.now() + Duration::from_secs(30);
+    loop {
+        c.run_for(Duration::from_millis(5));
+        if c.metrics().replies_delivered >= limit && c.outstanding_calls() == 0 {
+            break;
+        }
+        assert!(c.now() < deadline, "workload failed to drain");
+    }
+
+    let victim = c.hosting(server)[0];
+    c.kill_replica(server, victim);
+    let donor = wait_for_donor(&mut c, server);
+    let rest: Vec<_> = c
+        .processors()
+        .into_iter()
+        .filter(|&n| c.is_alive(n) && n != donor)
+        .collect();
+    c.net_mut().partition(&[&[donor], &rest]);
+    c.run_for(Duration::from_millis(20));
+    c.net_mut().heal();
+
+    let deadline = c.now() + Duration::from_secs(10);
+    loop {
+        c.run_for(Duration::from_millis(10));
+        if !c.recovery_in_flight() && c.hosting(server).len() == 2 {
+            let states = replica_states(&mut c, server);
+            if states.len() == 2 {
+                break;
+            }
+        }
+        assert!(c.now() < deadline, "group never reconverged after heal");
+    }
+    assert!(c.metrics().recoveries_completed >= 1);
+    assert_converged(&mut c, server, 2);
+}
+
 /// The campaign itself is a deterministic function of its seed: two
 /// runs with identical configuration must render identical summaries,
 /// byte for byte — that is what makes `--seed` a reproduction recipe.
