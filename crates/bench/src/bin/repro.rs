@@ -32,6 +32,20 @@
 //! cargo run --release -p eternal-bench --bin repro -- trace --seed 42
 //! ```
 //!
+//! `explore` runs the systematic schedule-space explorer (see
+//! `docs/TESTING.md`), writing the schema'd exploration report (default
+//! `EXPLORE_eternal.json`, byte-identical per seed+budget) and, on a
+//! violation, `flight_recorder.json` from the traced re-run of the
+//! shrunk minimal schedule. It exits nonzero if any explored schedule
+//! violated the single-copy oracle; `--force-violation` plants a
+//! synthetic exactly-once bug so CI can exercise the detect → shrink →
+//! report path:
+//!
+//! ```sh
+//! cargo run --release -p eternal-bench --bin repro -- explore --quick
+//! cargo run --release -p eternal-bench --bin repro -- explore --seed 7 --budget 1000
+//! ```
+//!
 //! `bench` runs the deterministic benchmark suite (also outside the
 //! everything-run; see `docs/BENCHMARKS.md`), writing
 //! `BENCH_eternal.json` and exiting nonzero on violated invariants.
@@ -60,6 +74,7 @@
 //! Unknown experiment names print a one-line usage and exit 2.
 
 use eternal::chaos::{run_campaign, CampaignConfig, FaultKind};
+use eternal::explore::{run_explore, ExploreConfig};
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
     ablation_run, checkpoint_sweep_point, compare, fig6_point, fig6_timeline, frag_threshold,
@@ -87,6 +102,7 @@ fn usage() {
          repro bench [--quick] [--compare BASELINE.json] [--threshold-pct-x100 N] | \
          repro health [--seed N] [--fault KIND] [--json PATH] | \
          repro chaos [--seed N] [--steps M] [--json PATH] [--causal] [--force-violation] | \
+         repro explore [--seed N] [--budget B] [--quick] [--json PATH] [--force-violation] | \
          repro trace [--seed N] [--json PATH] | repro timeline [--json PATH]",
         EXPERIMENTS.join("|")
     );
@@ -96,6 +112,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "chaos") {
         std::process::exit(chaos(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "explore") {
+        std::process::exit(explore(&args[1..]));
     }
     if args.first().is_some_and(|a| a == "bench") {
         std::process::exit(bench(&args[1..]));
@@ -221,6 +240,68 @@ fn chaos(args: &[String]) -> i32 {
         eprintln!("chaos: wrote flight_recorder.json");
     }
     i32::from(!summary.passed())
+}
+
+/// `repro -- explore [--seed N] [--budget B] [--quick]`: one
+/// deterministic schedule-space exploration (see `docs/TESTING.md`).
+/// The same seed+budget always reproduces the same report byte for
+/// byte; on a violation the shrunk counterexample's flight-recorder
+/// dump lands in `flight_recorder.json`.
+fn explore(args: &[String]) -> i32 {
+    let mut cfg = ExploreConfig::default();
+    let mut json_path = String::from("EXPLORE_eternal.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => {
+                    eprintln!("explore: --seed needs a numeric seed");
+                    return 2;
+                }
+            },
+            "--budget" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(b) => cfg.budget = b,
+                None => {
+                    eprintln!("explore: --budget needs a run count");
+                    return 2;
+                }
+            },
+            "--quick" => cfg.budget = ExploreConfig::quick().budget,
+            "--json" => match it.next() {
+                Some(p) => json_path = p.clone(),
+                None => {
+                    eprintln!("explore: --json needs a path");
+                    return 2;
+                }
+            },
+            "--force-violation" => cfg.force_violation = true,
+            other => {
+                eprintln!(
+                    "explore: unknown flag {other} (expected --seed N / --budget B / \
+                     --quick / --json PATH / --force-violation)"
+                );
+                return 2;
+            }
+        }
+    }
+    let report = run_explore(&cfg);
+    println!("{report}");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("explore: cannot write {json_path}: {e}");
+        return 1;
+    }
+    eprintln!("explore: wrote {json_path}");
+    if let Some(ce) = &report.counterexample {
+        if let Some(dump) = &ce.flight_recorder {
+            if let Err(e) = std::fs::write("flight_recorder.json", dump) {
+                eprintln!("explore: cannot write flight_recorder.json: {e}");
+                return 1;
+            }
+            eprintln!("explore: wrote flight_recorder.json");
+        }
+    }
+    i32::from(!report.passed())
 }
 
 /// `repro -- trace [--seed N] [--json PATH]`: the causal-tracing

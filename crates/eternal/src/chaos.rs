@@ -37,9 +37,8 @@ use crate::app::BurstClient;
 use crate::app::{BlobServant, CounterServant};
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::gid::GroupId;
-use crate::mechanisms::ReplicaPhase;
+use crate::oracle::{Oracle, OracleConfig, OraclePair, ServantKind};
 use crate::properties::FaultToleranceProperties;
-use eternal_cdr::{Any, Value};
 use eternal_obs::EventKind;
 use eternal_sim::net::NodeId;
 use eternal_sim::rng::SimRng;
@@ -386,30 +385,15 @@ impl fmt::Display for CampaignSummary {
     }
 }
 
-/// What a campaign server's application state decodes to, for the
-/// exactly-once comparison against its driver.
-#[derive(Debug, Clone, Copy)]
-enum ServerKind {
-    /// [`CounterServant`]: state is `ULong(count)`.
-    Counter,
-    /// [`BlobServant`]: state is `Struct[ULong(touches), Sequence]`.
-    Blob,
-}
-
-/// A server group and the driver group streaming at it.
-#[derive(Debug, Clone, Copy)]
-struct Pair {
-    server: GroupId,
-    driver: GroupId,
-    kind: ServerKind,
-}
-
 /// The campaign state while running.
 struct Campaign<'a> {
     cfg: &'a CampaignConfig,
     rng: SimRng,
     cluster: Cluster,
-    pairs: Vec<Pair>,
+    /// Server/driver pairs audited by the shared [`Oracle`]
+    /// (`pairs[1]` is always the blob pair, which the mid-transfer
+    /// faults target).
+    pairs: Vec<OraclePair>,
     base_loss: f64,
     base_delay: Duration,
     faults: BTreeMap<&'static str, u64>,
@@ -494,20 +478,20 @@ impl Campaign<'_> {
             move |_| Box::new(BurstClient::new(ledger, "increment", burst)),
         );
         self.pairs = vec![
-            Pair {
+            OraclePair {
                 server: counter,
                 driver: counter_driver,
-                kind: ServerKind::Counter,
+                kind: ServantKind::Counter,
             },
-            Pair {
+            OraclePair {
                 server: blob,
                 driver: blob_driver,
-                kind: ServerKind::Blob,
+                kind: ServantKind::Blob { size: blob_size },
             },
-            Pair {
+            OraclePair {
                 server: ledger,
                 driver: ledger_driver,
-                kind: ServerKind::Counter,
+                kind: ServantKind::Counter,
             },
         ];
         self.cluster.run_until_deployed();
@@ -812,146 +796,26 @@ impl Campaign<'_> {
                 format!("cluster failed to quiesce within {}", self.cfg.settle_cap),
             );
         }
-        self.check_convergence(step);
-        self.check_exactly_once(step);
+        // Invariants 1, 2, 4, 5, 6 plus the single-copy reference
+        // replay are the shared oracle; only the episode-based
+        // recovery-time audit is campaign-specific.
+        let oracle = self.oracle();
+        for v in oracle.check(&mut self.cluster) {
+            self.violation(step, v.invariant, v.detail);
+        }
         self.check_recovery_times(step);
-        self.check_reassembly(step);
-        self.check_dedup_bound(step);
-        self.check_suffix_bound(step);
     }
 
-    /// Invariant 1: byte-identical application state across each group's
-    /// live replicas (plus availability: every group still has one).
-    fn check_convergence(&mut self, step: usize) {
-        for (group, name) in self.cluster.groups() {
-            let live: Vec<NodeId> = self
-                .cluster
-                .hosting(group)
-                .into_iter()
-                .filter(|&n| self.cluster.is_alive(n))
-                .collect();
-            if live.is_empty() {
-                self.violation(step, "availability", format!("{name}: no live replica"));
-                continue;
-            }
-            let mut reference: Option<(NodeId, Vec<u8>)> = None;
-            for &node in &live {
-                // Warm backups hold a checkpoint + suffix rather than
-                // live state; convergence compares operational replicas.
-                if self.cluster.mechanisms(node).replica_phase(group) == Some(ReplicaPhase::Standby)
-                {
-                    continue;
-                }
-                match self.cluster.probe_application_state(node, group) {
-                    None => self.violation(
-                        step,
-                        "convergence",
-                        format!("{name}@{node}: replica not operational at quiescence"),
-                    ),
-                    Some(state) => match &reference {
-                        None => reference = Some((node, state)),
-                        Some((ref_node, ref_state)) => {
-                            if *ref_state != state {
-                                self.violation(
-                                    step,
-                                    "convergence",
-                                    format!(
-                                        "{name}: state at {node} ({}B) != state at {ref_node} ({}B)",
-                                        state.len(),
-                                        ref_state.len()
-                                    ),
-                                );
-                            }
-                        }
-                    },
-                }
-            }
+    /// The shared oracle configured for this campaign's caps and pairs.
+    fn oracle(&self) -> Oracle {
+        let mut oracle = Oracle::new(OracleConfig {
+            dedup_resident_cap: self.cfg.dedup_resident_cap,
+            suffix_checkpoint_len: self.cfg.suffix_checkpoint_len,
+        });
+        for &pair in &self.pairs {
+            oracle.add_pair(pair);
         }
-    }
-
-    /// Invariant 2: the operations each server executed equal the
-    /// logical invocations its driver issued — and every issued
-    /// invocation was answered (no loss, no re-execution).
-    fn check_exactly_once(&mut self, step: usize) {
-        for pair in self.pairs.clone() {
-            let Some(executed) = self.server_effects(pair) else {
-                self.violation(
-                    step,
-                    "exactly-once",
-                    format!("{:?}: server state unreadable", pair.kind),
-                );
-                continue;
-            };
-            let Some((sent, received)) = self.driver_counts(pair) else {
-                self.violation(
-                    step,
-                    "exactly-once",
-                    format!("{:?}: driver state unreadable", pair.kind),
-                );
-                continue;
-            };
-            if executed != sent {
-                self.violation(
-                    step,
-                    "exactly-once",
-                    format!(
-                        "{:?} {:?}: server executed {executed} ops, driver issued {sent}",
-                        pair.server, pair.kind
-                    ),
-                );
-            }
-            if received != sent {
-                self.violation(
-                    step,
-                    "exactly-once",
-                    format!(
-                        "{:?}: driver issued {sent} ops but saw {received} replies",
-                        pair.kind
-                    ),
-                );
-            }
-        }
-    }
-
-    /// The number of operations a server group has executed, decoded
-    /// from the application state of its first live replica.
-    fn server_effects(&mut self, pair: Pair) -> Option<u64> {
-        let node = self.cluster.hosting(pair.server).into_iter().find(|&n| {
-            self.cluster.is_alive(n)
-                && self.cluster.mechanisms(n).replica_phase(pair.server)
-                    == Some(ReplicaPhase::Operational)
-        })?;
-        let bytes = self.cluster.probe_application_state(node, pair.server)?;
-        let any = Any::from_bytes(&bytes).ok()?;
-        match (pair.kind, &any.value) {
-            (ServerKind::Counter, Value::ULong(count)) => Some(u64::from(*count)),
-            (ServerKind::Blob, Value::Struct(members)) => match members.as_slice() {
-                [Value::ULong(touches), _] => Some(u64::from(*touches)),
-                _ => None,
-            },
-            _ => None,
-        }
-    }
-
-    /// `(sent, received)` of the driver group, from its first live
-    /// replica. Sibling replicas run in lockstep, so one copy of each
-    /// logical invocation counts once here however many replicas issued
-    /// duplicates of it.
-    fn driver_counts(&mut self, pair: Pair) -> Option<(u64, u64)> {
-        let node = self
-            .cluster
-            .hosting(pair.driver)
-            .into_iter()
-            .find(|&n| self.cluster.is_alive(n))?;
-        let bytes = self.cluster.probe_application_state(node, pair.driver)?;
-        let any = Any::from_bytes(&bytes).ok()?;
-        match &any.value {
-            Value::Struct(members) => match members.as_slice() {
-                [Value::ULongLong(sent), Value::ULongLong(received)] => Some((*sent, *received)),
-                _ => None,
-            },
-            _ => None,
-        }
+        oracle
     }
 
     /// Invariant 3 (episode half): every newly completed recovery
@@ -971,62 +835,6 @@ impl Campaign<'_> {
             self.cluster.histogram_record("chaos.recovery_time", took);
         }
         self.recoveries_seen = records.len();
-    }
-
-    /// Invariant 4: no partially reassembled multicast survives a
-    /// quiescent point on any live processor.
-    fn check_reassembly(&mut self, step: usize) {
-        for node in self.live_processors() {
-            let pending = self.cluster.reassembly_pending(node);
-            if pending > 0 {
-                self.violation(
-                    step,
-                    "reassembly-orphan",
-                    format!("{node}: {pending} partial message(s) at quiescence"),
-                );
-            }
-        }
-    }
-
-    /// Invariant 6: passive-group log suffixes stay bounded. The
-    /// suffix-bound trigger fabricates a checkpoint once the suffix
-    /// reaches [`CampaignConfig::suffix_checkpoint_len`]; the fabricated
-    /// retrieval needs one round trip through the total order, during
-    /// which logging continues, so the audited cap is twice the
-    /// trigger's threshold.
-    fn check_suffix_bound(&mut self, step: usize) {
-        let threshold = self.cfg.suffix_checkpoint_len;
-        if threshold == 0 {
-            return;
-        }
-        let cap = 2 * threshold;
-        for (group, name) in self.cluster.groups() {
-            for node in self.live_processors() {
-                let len = self.cluster.mechanisms(node).log_suffix_len(group);
-                if len > cap {
-                    self.violation(
-                        step,
-                        "suffix-bound",
-                        format!("{name}@{node}: {len} logged messages at quiescence (cap {cap})"),
-                    );
-                }
-            }
-        }
-    }
-
-    /// Invariant 5: duplicate-suppression memory stays bounded.
-    fn check_dedup_bound(&mut self, step: usize) {
-        let cap = self.cfg.dedup_resident_cap;
-        for node in self.live_processors() {
-            let resident = self.cluster.mechanisms(node).dedup_resident();
-            if resident > cap {
-                self.violation(
-                    step,
-                    "dedup-bound",
-                    format!("{node}: {resident} resident dedup ids (cap {cap})"),
-                );
-            }
-        }
     }
 
     fn finish(self) -> CampaignSummary {

@@ -23,6 +23,7 @@ use eternal_obs::health::{AuditorConfig, HealthAuditor, HealthSnapshot};
 use eternal_obs::timeline::PhaseSpan;
 use eternal_obs::{EventKind, MetricsRegistry, RecoveryPhase, RecoveryTimeline};
 use eternal_orb::servant::CheckpointableServant;
+use eternal_sim::choice::{ChoiceKind, SharedChoiceSource};
 use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
 use eternal_sim::trace::Trace;
 use eternal_sim::{Duration, Scheduler, SimTime};
@@ -182,6 +183,10 @@ struct EpisodeObs {
 pub struct Cluster {
     config: ClusterConfig,
     sched: Scheduler<Event>,
+    /// Installed schedule-exploration choice source (also installed
+    /// into `sched` for tie-breaks). `None` outside exploration: every
+    /// nondeterministic decision then takes its default branch.
+    choices: Option<SharedChoiceSource>,
     net: NetworkModel,
     totem: BTreeMap<NodeId, TotemNode>,
     mechs: BTreeMap<NodeId, Mechanisms>,
@@ -258,6 +263,7 @@ impl Cluster {
             repl_mgr: ReplicationManager::new(config.processors),
             res_mgr: ResourceManager,
             sched: Scheduler::new(),
+            choices: None,
             net,
             totem: BTreeMap::new(),
             mechs: BTreeMap::new(),
@@ -335,6 +341,35 @@ impl Cluster {
         }
         cluster
     }
+
+    /// Installs a schedule-exploration
+    /// [`ChoiceSource`](eternal_sim::choice::ChoiceSource). The source
+    /// resolves (a) same-instant scheduler tie-breaks
+    /// ([`ChoiceKind::Tie`]) and (b) the fate of every multicast frame
+    /// at its send boundary ([`ChoiceKind::Token`] for Totem token
+    /// frames — the token-visit boundary — [`ChoiceKind::Frame`] for
+    /// everything else): branch 0 delivers normally, branch 1 drops the
+    /// frame on the wire, branch 2 delays every delivery of it by a
+    /// fixed [`Cluster::EXPLORE_DELAY`]. With no source installed (the
+    /// default) behaviour is byte-identical to before this hook
+    /// existed.
+    pub fn set_choice_source(&mut self, source: SharedChoiceSource) {
+        self.sched.set_choice_source(source.clone());
+        self.choices = Some(source);
+    }
+
+    /// Removes the installed choice source, restoring pure default
+    /// behaviour.
+    pub fn clear_choice_source(&mut self) {
+        self.sched.clear_choice_source();
+        self.choices = None;
+    }
+
+    /// Extra latency a frame's deliveries incur when a choice source
+    /// picks the delay branch at a frame-fate choice-point: half a
+    /// default token-rotation timeout, enough to reorder against
+    /// same-flight frames without instantly tripping failure detectors.
+    pub const EXPLORE_DELAY: Duration = Duration::from_micros(750);
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
@@ -1404,10 +1439,35 @@ impl Cluster {
                             );
                         }
                     }
+                    // Exploration choice-point: the fate of this frame
+                    // on the wire (deliver / drop / delay). Token
+                    // frames are the token-visit boundary; everything
+                    // else is a regular delivery boundary.
+                    let fate = match &self.choices {
+                        Some(source) => {
+                            let kind = if matches!(frame, Frame::Token(_)) {
+                                ChoiceKind::Token
+                            } else {
+                                ChoiceKind::Frame
+                            };
+                            source.borrow_mut().choose(kind, 3).min(2)
+                        }
+                        None => 0,
+                    };
+                    if fate == 1 {
+                        self.registry.counter_add("explore.frames_dropped", 1);
+                        continue;
+                    }
+                    let extra = if fate == 2 {
+                        self.registry.counter_add("explore.frames_delayed", 1);
+                        Self::EXPLORE_DELAY
+                    } else {
+                        Duration::ZERO
+                    };
                     let wire = frame.wire_len().min(self.net.config().frame_payload());
                     for d in self.net.multicast(node, wire, now) {
                         self.sched.schedule_at(
-                            d.at,
+                            d.at + extra,
                             Event::TotemFrame {
                                 dst: d.dst,
                                 frame: frame.clone(),

@@ -71,6 +71,7 @@ pub mod app;
 pub mod causal;
 pub mod chaos;
 pub mod cluster;
+pub mod explore;
 pub mod gid;
 pub mod health_lab;
 pub mod interceptor;
@@ -78,6 +79,7 @@ pub mod manager;
 pub mod mechanisms;
 pub mod message;
 pub mod metrics;
+pub mod oracle;
 pub mod properties;
 pub mod recovery;
 

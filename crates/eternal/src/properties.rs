@@ -106,6 +106,10 @@ impl FaultToleranceProperties {
             !self.checkpoint_interval.is_zero() || !self.style.logs_checkpoints(),
             "passive replication requires a non-zero checkpoint interval"
         );
+        assert!(
+            !self.fault_monitoring_interval.is_zero(),
+            "fault monitoring requires a non-zero interval"
+        );
     }
 }
 
@@ -149,5 +153,15 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_replicas_rejected() {
         FaultToleranceProperties::active(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault monitoring")]
+    fn zero_fault_monitoring_interval_rejected() {
+        // A zero interval would make the fault detectors busy-loop the
+        // scheduler without time ever advancing.
+        let mut p = FaultToleranceProperties::active(2);
+        p.fault_monitoring_interval = Duration::ZERO;
+        p.validate();
     }
 }

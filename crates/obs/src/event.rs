@@ -133,6 +133,14 @@ pub enum EventKind {
     HealthSnapshot,
     /// The health auditor fired a diagnosis.
     HealthDiagnosis,
+
+    // ---- schedule exploration (docs/TESTING.md) ----
+    /// The explorer injected a non-default branch at a choice-point
+    /// (tie permutation, frame drop/delay, fault injection).
+    ExploreChoice,
+    /// The explorer replayed a counterexample schedule (the traced
+    /// re-run that feeds the flight recorder).
+    ExploreCounterexample,
 }
 
 impl EventKind {
@@ -170,6 +178,8 @@ impl EventKind {
             EventKind::InvariantViolation => "invariant.violation",
             EventKind::HealthSnapshot => "health.snapshot",
             EventKind::HealthDiagnosis => "health.diagnosis",
+            EventKind::ExploreChoice => "explore.choice",
+            EventKind::ExploreCounterexample => "explore.counterexample",
         }
     }
 }
@@ -270,6 +280,8 @@ mod tests {
             EventKind::InvariantViolation,
             EventKind::HealthSnapshot,
             EventKind::HealthDiagnosis,
+            EventKind::ExploreChoice,
+            EventKind::ExploreCounterexample,
         ];
         all.extend(RecoveryPhase::ALL.iter().map(|&p| EventKind::Phase(p)));
         let codes: std::collections::BTreeSet<&str> = all.iter().map(|k| k.code()).collect();

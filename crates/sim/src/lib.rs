@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod choice;
 pub mod net;
 pub mod rng;
 pub mod sched;
@@ -45,6 +46,7 @@ pub use eternal_obs as obs;
 pub use eternal_obs::time;
 pub use eternal_obs::trace;
 
+pub use choice::{ChoiceKind, ChoiceSource, FifoChoice, SharedChoiceSource};
 pub use net::{NetworkConfig, NetworkModel};
 pub use sched::Scheduler;
 pub use time::{Duration, SimTime};

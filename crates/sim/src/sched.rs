@@ -5,6 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::choice::{ChoiceKind, SharedChoiceSource};
 use crate::time::{Duration, SimTime};
 
 /// A handle that identifies a scheduled event so it can be cancelled.
@@ -46,6 +47,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     next_seq: u64,
     pending: std::collections::HashSet<u64>,
+    choices: Option<SharedChoiceSource>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -62,7 +64,29 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             pending: std::collections::HashSet::new(),
+            choices: None,
         }
+    }
+
+    /// Installs a [`ChoiceSource`](crate::choice::ChoiceSource) that
+    /// resolves same-instant tie-breaks. With a source installed,
+    /// whenever two or more pending events share the minimal timestamp
+    /// the source picks which one pops next ([`ChoiceKind::Tie`], branch
+    /// `i` = the `i`-th tied entry in FIFO order). Branch `0` reproduces
+    /// the default FIFO schedule exactly.
+    pub fn set_choice_source(&mut self, source: SharedChoiceSource) {
+        self.choices = Some(source);
+    }
+
+    /// Removes the installed choice source, restoring pure FIFO
+    /// tie-breaking.
+    pub fn clear_choice_source(&mut self) {
+        self.choices = None;
+    }
+
+    /// Returns `true` if a choice source is installed.
+    pub fn has_choice_source(&self) -> bool {
+        self.choices.is_some()
     }
 
     /// The current virtual time: the timestamp of the most recently
@@ -115,6 +139,9 @@ impl<E> Scheduler<E> {
     /// timestamp. Cancelled events are skipped. Returns `None` when the
     /// queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.choices.is_some() {
+            return self.pop_with_choices();
+        }
         while let Some(Reverse(entry)) = self.heap.pop() {
             if !self.pending.remove(&entry.seq) {
                 continue; // cancelled
@@ -123,6 +150,52 @@ impl<E> Scheduler<E> {
             return Some((entry.time, entry.event));
         }
         None
+    }
+
+    /// `pop` with an installed choice source: gather every live entry
+    /// tied at the minimal timestamp, let the source pick one, and push
+    /// the rest back (they keep their original `seq`, so FIFO order
+    /// among them is preserved for the next tie).
+    fn pop_with_choices(&mut self) -> Option<(SimTime, E)> {
+        let first = loop {
+            match self.heap.pop() {
+                Some(Reverse(entry)) => {
+                    if self.pending.contains(&entry.seq) {
+                        break entry;
+                    }
+                    // cancelled: discard
+                }
+                None => return None,
+            }
+        };
+        // Collect the rest of the tie set; heap pops in (time, seq)
+        // order, so `tied` is FIFO-ordered.
+        let mut tied = vec![first];
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if !self.pending.contains(&top.seq) {
+                self.heap.pop();
+                continue;
+            }
+            if top.time != tied[0].time {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry present");
+            tied.push(entry);
+        }
+        let pick = if tied.len() >= 2 {
+            let source = self.choices.clone().expect("choice source installed");
+            let branch = source.borrow_mut().choose(ChoiceKind::Tie, tied.len());
+            branch.min(tied.len() - 1)
+        } else {
+            0
+        };
+        let chosen = tied.swap_remove(pick);
+        for entry in tied {
+            self.heap.push(Reverse(entry));
+        }
+        self.pending.remove(&chosen.seq);
+        self.now = chosen.time;
+        Some((chosen.time, chosen.event))
     }
 
     /// Returns the timestamp of the next pending event without removing
@@ -222,5 +295,143 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.peek_time(), None);
         assert!(s.pop().is_none());
+    }
+
+    use crate::choice::{ChoiceKind, ChoiceSource, FifoChoice};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Test source: replays a fixed list of branches, then defaults.
+    #[derive(Debug)]
+    struct Scripted {
+        branches: Vec<usize>,
+        at: usize,
+        asked: Vec<usize>,
+    }
+
+    impl Scripted {
+        fn new(branches: Vec<usize>) -> Rc<RefCell<Self>> {
+            Rc::new(RefCell::new(Scripted {
+                branches,
+                at: 0,
+                asked: Vec::new(),
+            }))
+        }
+    }
+
+    impl ChoiceSource for Scripted {
+        fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+            self.asked.push(arity);
+            let b = self.branches.get(self.at).copied().unwrap_or(0);
+            self.at += 1;
+            b
+        }
+    }
+
+    #[test]
+    fn fifo_choice_source_matches_no_source() {
+        let build = |with_source: bool| {
+            let mut s = Scheduler::new();
+            if with_source {
+                s.set_choice_source(Rc::new(RefCell::new(FifoChoice)));
+            }
+            let t = SimTime::from_nanos(5);
+            for i in 0..20 {
+                s.schedule_at(t, i);
+            }
+            s.schedule_at(SimTime::from_nanos(9), 99);
+            std::iter::from_fn(|| s.pop()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn tie_break_choice_permutes_same_instant_entries() {
+        let mut s = Scheduler::new();
+        let src = Scripted::new(vec![2, 1]);
+        s.set_choice_source(src.clone());
+        let t = SimTime::from_nanos(5);
+        for i in 0..3 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        // First pick: branch 2 of [0,1,2] -> 2. Second: branch 1 of
+        // [0,1] -> 1. Last: arity 1, no query, pops 0.
+        assert_eq!(order, vec![2, 1, 0]);
+        assert_eq!(src.borrow().asked, vec![3, 2]);
+    }
+
+    #[test]
+    fn choice_source_not_consulted_for_singletons() {
+        let mut s = Scheduler::new();
+        let src = Scripted::new(vec![]);
+        s.set_choice_source(src.clone());
+        for i in 0..5u64 {
+            s.schedule_at(SimTime::from_nanos(10 * (i + 1)), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(src.borrow().asked.is_empty());
+    }
+
+    #[test]
+    fn cancelled_entries_never_join_a_tie_set() {
+        let mut s = Scheduler::new();
+        let src = Scripted::new(vec![1, 1, 1, 1]);
+        s.set_choice_source(src.clone());
+        let t = SimTime::from_nanos(5);
+        s.schedule_at(t, "a");
+        let b = s.schedule_at(t, "b");
+        s.schedule_at(t, "c");
+        s.cancel(b);
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert!(!order.contains(&"b"), "cancelled entry fired: {order:?}");
+        assert_eq!(order, vec!["c", "a"]);
+        // Only one real tie (arity 2): the cancelled entry is excluded.
+        assert_eq!(src.borrow().asked, vec![2]);
+    }
+
+    #[test]
+    fn cancelling_a_permuted_entry_still_works() {
+        // Permute a tie so a later-seq entry pops first, then cancel one
+        // of the re-pushed survivors: it must never fire.
+        let mut s = Scheduler::new();
+        let src = Scripted::new(vec![2]);
+        s.set_choice_source(src);
+        let t = SimTime::from_nanos(5);
+        let a = s.schedule_at(t, "a");
+        s.schedule_at(t, "b");
+        s.schedule_at(t, "c");
+        let (_, first) = s.pop().unwrap();
+        assert_eq!(first, "c");
+        s.cancel(a);
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["b"]);
+    }
+
+    #[test]
+    fn out_of_range_branch_clamps_to_last() {
+        let mut s = Scheduler::new();
+        s.set_choice_source(Scripted::new(vec![usize::MAX]));
+        let t = SimTime::from_nanos(5);
+        s.schedule_at(t, "a");
+        s.schedule_at(t, "b");
+        let (_, first) = s.pop().unwrap();
+        assert_eq!(first, "b");
+    }
+
+    #[test]
+    fn clear_choice_source_restores_fifo() {
+        let mut s = Scheduler::new();
+        s.set_choice_source(Scripted::new(vec![1, 1, 1]));
+        assert!(s.has_choice_source());
+        s.clear_choice_source();
+        assert!(!s.has_choice_source());
+        let t = SimTime::from_nanos(5);
+        for i in 0..4 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 }

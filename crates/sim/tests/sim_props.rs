@@ -3,9 +3,23 @@
 //! by the crate's own deterministic [`SimRng`] (fixed seeds) so the
 //! suite builds offline and replays identically.
 
+use eternal_sim::choice::{ChoiceKind, ChoiceSource, FifoChoice};
 use eternal_sim::net::{NetworkConfig, NetworkModel, NodeId};
 use eternal_sim::rng::SimRng;
 use eternal_sim::{Duration, Scheduler, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A tie-breaker that picks branches from the crate's own PRNG —
+/// enough adversarial permutation power for the properties below.
+#[derive(Debug)]
+struct RandomChoice(SimRng);
+
+impl ChoiceSource for RandomChoice {
+    fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+        self.0.gen_range(arity as u64) as usize
+    }
+}
 
 /// Events pop in non-decreasing time order, FIFO within a tie.
 #[test]
@@ -50,6 +64,110 @@ fn scheduler_cancellation_is_exact() {
         }
         let popped: Vec<usize> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
         assert_eq!(popped, kept);
+    }
+}
+
+/// The default tie-breaker ([`FifoChoice`], branch 0 everywhere) pops
+/// the exact sequence an un-instrumented scheduler would: installing it
+/// is observationally a no-op.
+#[test]
+fn fifo_choice_source_is_identity() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0007);
+    for _case in 0..64 {
+        let n = 1 + rng.gen_range(199) as usize;
+        // Coarse times (0..8) force plenty of same-instant ties.
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(8)).collect();
+        let mut plain = Scheduler::new();
+        let mut instrumented = Scheduler::new();
+        instrumented.set_choice_source(Rc::new(RefCell::new(FifoChoice)));
+        for (i, &t) in times.iter().enumerate() {
+            plain.schedule_at(SimTime::from_nanos(t), i);
+            instrumented.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| plain.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| instrumented.pop()).collect();
+        assert_eq!(a, b);
+    }
+}
+
+/// A cancelled entry never fires, no matter how an adversarial
+/// tie-breaker permutes its tie set — including cancellations issued
+/// *between* pops, after the entry may already have been permuted back
+/// into the heap.
+#[test]
+fn cancelled_entries_never_fire_under_permutation() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0008);
+    for case in 0..64 {
+        let n = 2 + rng.gen_range(98) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(4)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.3)).collect();
+        let mut s = Scheduler::new();
+        s.set_choice_source(Rc::new(RefCell::new(RandomChoice(SimRng::seed_from_u64(
+            0x1000 + case,
+        )))));
+        let ids: Vec<_> = (0..n)
+            .map(|i| s.schedule_at(SimTime::from_nanos(times[i]), i))
+            .collect();
+        // Cancel half the doomed entries up front, half mid-drain. A
+        // mid-drain victim may fire before its turn comes — the
+        // property is that every cancel that *succeeds* is final.
+        let mut cancelled: Vec<usize> = Vec::new();
+        let mut late_cancels: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                if i % 2 == 0 {
+                    assert!(s.cancel(*id));
+                    cancelled.push(i);
+                } else {
+                    late_cancels.push(i);
+                }
+            }
+        }
+        let mut fired = Vec::new();
+        while let Some((_, i)) = s.pop() {
+            fired.push(i);
+            if let Some(victim) = late_cancels.pop() {
+                if s.cancel(ids[victim]) {
+                    cancelled.push(victim);
+                }
+            }
+        }
+        for i in cancelled {
+            assert!(!fired.contains(&i), "cancelled entry {i} fired");
+        }
+    }
+}
+
+/// Permuting tie-breaks can reorder entries *within* an instant but
+/// never across instants: pop times stay monotone, each entry keeps its
+/// scheduled time, and the multiset of fired entries is untouched.
+#[test]
+fn time_is_monotone_under_permutation() {
+    let mut rng = SimRng::seed_from_u64(0x5EED_0009);
+    for case in 0..64 {
+        let n = 1 + rng.gen_range(199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(6)).collect();
+        let mut s = Scheduler::new();
+        s.set_choice_source(Rc::new(RefCell::new(RandomChoice(SimRng::seed_from_u64(
+            0x2000 + case,
+        )))));
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut fired: Vec<usize> = Vec::new();
+        while let Some((at, i)) = s.pop() {
+            assert!(at >= last, "time ran backwards");
+            assert_eq!(at, SimTime::from_nanos(times[i]), "entry moved instants");
+            last = at;
+            fired.push(i);
+        }
+        fired.sort_unstable();
+        assert_eq!(
+            fired,
+            (0..n).collect::<Vec<_>>(),
+            "entries lost or duplicated"
+        );
     }
 }
 

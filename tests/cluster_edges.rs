@@ -4,8 +4,20 @@
 
 use eternal::app::{CounterServant, StreamingClient};
 use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::oracle::{Oracle, OracleConfig, OraclePair, ServantKind};
 use eternal::properties::FaultToleranceProperties;
 use eternal_sim::Duration;
+
+/// Runs the cluster to genuine quiescence (drained workload, no
+/// recovery in flight) so the oracle's invariants apply.
+fn settle(c: &mut Cluster) {
+    let deadline = c.now() + Duration::from_secs(2);
+    while c.outstanding_calls() > 0 || c.recovery_in_flight() || !c.formed() {
+        assert!(c.now() < deadline, "cluster failed to quiesce");
+        c.run_for(Duration::from_millis(10));
+    }
+    c.run_for(Duration::from_millis(10));
+}
 
 #[test]
 fn deployment_shapes_match_styles() {
@@ -36,8 +48,8 @@ fn killing_the_same_replica_twice_is_harmless() {
     let server = c.deploy_server("s", FaultToleranceProperties::active(2), || {
         Box::new(CounterServant::default())
     });
-    c.deploy_client("d", FaultToleranceProperties::active(1), move |_| {
-        Box::new(StreamingClient::new(server, "increment", 2))
+    let driver = c.deploy_client("d", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 2).with_limit(150))
     });
     c.run_until_deployed();
     c.run_for(Duration::from_millis(30));
@@ -49,6 +61,16 @@ fn killing_the_same_replica_twice_is_harmless() {
     let m = c.metrics();
     assert_eq!(m.recoveries_completed, 1, "exactly one recovery");
     assert!(m.replies_delivered > 0);
+    // The double kill must not have confused the recovered group: at
+    // quiescence the full oracle holds, double-kill or not.
+    settle(&mut c);
+    Oracle::new(OracleConfig::default())
+        .with_pair(OraclePair {
+            server,
+            driver,
+            kind: ServantKind::Counter,
+        })
+        .assert_clean(&mut c, "after the double kill recovered and drained");
 }
 
 #[test]
@@ -140,6 +162,13 @@ fn multiple_groups_share_the_infrastructure() {
     for &s in &servers {
         assert_eq!(c.hosting(s).len(), 2);
     }
+    // The group-generic oracle invariants (availability, reassembly,
+    // dedup bounds) hold across every group sharing the infrastructure.
+    let oracle = Oracle::new(OracleConfig::default());
+    let mut violations = Vec::new();
+    oracle.check_reassembly(&mut c, &mut violations);
+    oracle.check_dedup_bound(&mut c, &mut violations);
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 #[test]

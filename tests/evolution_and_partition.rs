@@ -4,11 +4,23 @@
 
 use eternal::app::{CounterServant, StreamingClient};
 use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::oracle::{Oracle, OracleConfig, OraclePair, ServantKind};
 use eternal::properties::FaultToleranceProperties;
 use eternal_cdr::{Any, Value};
 use eternal_orb::servant::{CheckpointableServant, Servant, ServantError};
 use eternal_sim::net::NodeId;
 use eternal_sim::Duration;
+
+/// Runs the cluster to genuine quiescence (drained workload, no
+/// recovery in flight) so the oracle's invariants apply.
+fn settle(c: &mut Cluster) {
+    let deadline = c.now() + Duration::from_secs(2);
+    while c.outstanding_calls() > 0 || c.recovery_in_flight() || !c.formed() {
+        assert!(c.now() < deadline, "cluster failed to quiesce");
+        c.run_for(Duration::from_millis(10));
+    }
+    c.run_for(Duration::from_millis(10));
+}
 
 /// Version 2 of the counter: same state format, adds `decrement` and
 /// stamps replies with a version marker via `version`.
@@ -164,6 +176,86 @@ fn upgraded_state_continues_monotonically() {
     assert_eq!(m.replies_discarded_by_orb, 0);
     assert_eq!(m.requests_discarded_unnegotiated, 0);
     assert_eq!(m.recoveries_completed, 2);
+}
+
+#[test]
+fn upgrade_quiescent_point_satisfies_the_full_oracle() {
+    // A rolling upgrade mid-stream, then the full single-copy audit:
+    // the V2 group's state must equal a serial replay of the entire
+    // (pre- and post-upgrade) client history. V2's `increment` and
+    // state format match V1, so the V1 reference servant is still the
+    // correct single copy.
+    let mut c = Cluster::new(ClusterConfig::default(), 33);
+    let server = c.deploy_server("counter", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    let driver = c.deploy_client("driver", FaultToleranceProperties::active(1), move |_| {
+        Box::new(StreamingClient::new(server, "increment", 3).with_limit(200))
+    });
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(30));
+    c.upgrade_server(server, || Box::new(CounterServantV2::default()));
+    c.run_for(Duration::from_millis(600));
+    assert!(!c.upgrade_in_progress(server), "upgrade finished");
+    settle(&mut c);
+    Oracle::new(OracleConfig::default())
+        .with_pair(OraclePair {
+            server,
+            driver,
+            kind: ServantKind::Counter,
+        })
+        .assert_clean(&mut c, "after the rolling upgrade drained");
+}
+
+#[test]
+fn healed_partition_satisfies_the_full_oracle() {
+    // Each half keeps serving its own pair through the partition; after
+    // the heal and a drain, both pairs must satisfy the full oracle —
+    // convergence, exactly-once, single-copy — as if the partition
+    // never happened.
+    let config = ClusterConfig {
+        processors: 4,
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(config, 34);
+    let left_server = c.deploy_server("left", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    let left_driver = c.deploy_client(
+        "left-driver",
+        FaultToleranceProperties::active(1),
+        move |_| Box::new(StreamingClient::new(left_server, "increment", 2).with_limit(150)),
+    );
+    let right_server = c.deploy_server("right", FaultToleranceProperties::active(2), || {
+        Box::new(CounterServant::default())
+    });
+    let right_driver = c.deploy_client(
+        "right-driver",
+        FaultToleranceProperties::active(1),
+        move |_| Box::new(StreamingClient::new(right_server, "increment", 2).with_limit(150)),
+    );
+    c.run_until_deployed();
+    c.run_for(Duration::from_millis(30));
+
+    c.net_mut()
+        .partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]]);
+    c.run_for(Duration::from_secs(1));
+    c.net_mut().heal();
+    c.run_for(Duration::from_secs(2));
+    assert!(c.formed(), "membership re-merged after heal");
+    settle(&mut c);
+    Oracle::new(OracleConfig::default())
+        .with_pair(OraclePair {
+            server: left_server,
+            driver: left_driver,
+            kind: ServantKind::Counter,
+        })
+        .with_pair(OraclePair {
+            server: right_server,
+            driver: right_driver,
+            kind: ServantKind::Counter,
+        })
+        .assert_clean(&mut c, "after the partition healed and drained");
 }
 
 #[test]
