@@ -1,0 +1,342 @@
+//! The `repro -- attribution` runner: one traced workload decomposed
+//! into per-request latency attributions, rendered as the
+//! byte-deterministic `ATTRIB_eternal.json` document plus the
+//! human-readable where-does-the-time-go report.
+//!
+//! Document schema (`docs/ATTRIBUTION.md` has the field-by-field spec):
+//!
+//! ```text
+//! {
+//!   "schema": 1,
+//!   "seed": …, "final_time_ns": …,
+//!   "requests": …, "incomplete_chains": …, "non_monotone_chains": …,
+//!   "dropped_events": …,
+//!   "phases": [ {phase, count, total_ns, p50_ns, p99_ns, max_ns} … ],
+//!   "rtt":    { count, total_ns, p50_ns, p99_ns, max_ns },
+//!   "top":    [ {trace_id, client_node, started_at_ns, rtt_ns,
+//!                dominant, phases{…}, hops} … ],
+//!   "violations": [ … ],
+//!   "passed": true | false
+//! }
+//! ```
+//!
+//! Exit policy (mirrored by `repro`): at least one request must have
+//! been attributed and every attributed request must tile exactly —
+//! any tiling violation fails the run. Same seed → byte-identical
+//! document; every `top` entry's phase values sum to its `rtt_ns`, so
+//! external validators can recheck the tiling from the JSON alone.
+
+use eternal::app::{AppInvocation, ClientApp, CounterServant, KvStoreServant, StreamingClient};
+use eternal::cluster::{Cluster, ClusterConfig};
+use eternal::gid::GroupId;
+use eternal::properties::FaultToleranceProperties;
+use eternal_cdr::{Any, Value};
+use eternal_giop::ReplyStatus;
+use eternal_obs::attribution::{attribute, AttributionReport, Phase};
+use eternal_sim::Duration;
+use std::fmt::Write as _;
+
+/// A client whose `put` values span several Totem fragments, so the
+/// attribution's critical-path rule (reassembly completes at the
+/// *last* fragment's delivery) is exercised by real traffic, not just
+/// unit fixtures. Deterministic: keys rotate over a small set, values
+/// are a fixed 3000-byte pattern (two to three frames on the default
+/// network).
+#[derive(Debug)]
+struct FragPutClient {
+    server: GroupId,
+    sent: u64,
+    received: u64,
+    limit: u64,
+}
+
+impl FragPutClient {
+    fn new(server: GroupId, limit: u64) -> Self {
+        FragPutClient {
+            server,
+            sent: 0,
+            received: 0,
+            limit,
+        }
+    }
+
+    fn next(&mut self) -> AppInvocation {
+        self.sent += 1;
+        let key = format!("k{}", self.sent % 7);
+        let value = "x".repeat(3_000);
+        AppInvocation {
+            server: self.server,
+            operation: "put".to_owned(),
+            args: KvStoreServant::put_args(&key, &value),
+            response_expected: true,
+        }
+    }
+}
+
+impl ClientApp for FragPutClient {
+    fn on_start(&mut self) -> Vec<AppInvocation> {
+        vec![self.next(), self.next()]
+    }
+
+    fn on_reply(
+        &mut self,
+        _server: GroupId,
+        _operation: &str,
+        _status: ReplyStatus,
+        _body: &[u8],
+    ) -> Vec<AppInvocation> {
+        self.received += 1;
+        if self.received >= self.limit {
+            return Vec::new();
+        }
+        vec![self.next()]
+    }
+
+    fn get_state(&self) -> Any {
+        Any::from(Value::Struct(vec![
+            Value::ULongLong(self.sent),
+            Value::ULongLong(self.received),
+        ]))
+    }
+
+    fn set_state(&mut self, state: &Any) {
+        if let Value::Struct(m) = &state.value {
+            if let [Value::ULongLong(sent), Value::ULongLong(received)] = m.as_slice() {
+                self.sent = *sent;
+                self.received = *received;
+            }
+        }
+    }
+}
+
+/// The result of one attribution run.
+#[derive(Debug, Clone)]
+pub struct AttributionRun {
+    /// `ATTRIB_eternal.json` contents (trailing newline included).
+    pub json: String,
+    /// The human-readable phase table + slowest-requests report.
+    pub report: String,
+    /// One-line human summary.
+    pub summary: String,
+    /// Whether the run met its exit policy (see module docs).
+    pub passed: bool,
+    /// The full decomposition, for callers that gate on phase
+    /// percentiles (the bench suite's `attribution_overhead` section).
+    pub attribution: AttributionReport,
+}
+
+/// How many slowest requests the JSON `top` array and the text report
+/// carry.
+pub const TOP_K: usize = 10;
+
+/// Runs the attribution workload and renders its documents.
+///
+/// The scenario is the causal-tracing workload widened to cover every
+/// phase: a streaming counter client (small single-fragment requests),
+/// a fragmenting KV client (multi-fragment requests), and a mid-run
+/// replica kill so a recovering replica's holding queue sees traffic.
+pub fn attribution_run(seed: u64) -> AttributionRun {
+    let config = ClusterConfig {
+        causal: true,
+        // Large enough that no span of this workload is evicted: an
+        // evicted parent would surface as an incomplete chain and
+        // understate the report.
+        causal_capacity: 1 << 18,
+        trace: false,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, seed);
+    let counter = cluster.deploy_server(
+        "attrib-counter",
+        FaultToleranceProperties::active(3),
+        || Box::new(CounterServant::default()),
+    );
+    let kv = cluster.deploy_server("attrib-kv", FaultToleranceProperties::active(2), || {
+        Box::new(KvStoreServant::default())
+    });
+    let driver = cluster.deploy_client(
+        "attrib-driver",
+        FaultToleranceProperties::active(2),
+        move |_| Box::new(StreamingClient::new(counter, "increment", 4)),
+    );
+    cluster.deploy_client(
+        "attrib-frag-driver",
+        FaultToleranceProperties::active(1),
+        move |_| Box::new(FragPutClient::new(kv, 400)),
+    );
+    cluster.run_until_deployed();
+    cluster.run_for(Duration::from_millis(40));
+
+    // Kill one counter replica (server-side recovery: state transfer
+    // rides the same totally ordered ring as the traffic) and one
+    // streaming-client replica: the client's replacement *holds* the
+    // replies delivered mid-recovery and replays them after set_state,
+    // so the hold-residency phase appears on real reply-match chains.
+    let victim = cluster.hosting(counter)[0];
+    cluster.kill_replica(counter, victim);
+    let client_victim = cluster.hosting(driver)[0];
+    cluster.kill_replica(driver, client_victim);
+    cluster.run_for(Duration::from_millis(120));
+
+    let report = attribute(cluster.causal());
+    let passed = !report.requests.is_empty() && report.violations.is_empty();
+    let json = render_json(&report, seed, cluster.now().as_nanos());
+    let text = report.render_text(TOP_K);
+    let summary = format!(
+        "attribution: seed={seed} requests={} incomplete={} non_monotone={} dropped={} \
+         violations={} verdict={}",
+        report.requests.len(),
+        report.incomplete_chains,
+        report.non_monotone_chains,
+        report.dropped_events,
+        report.violations.len(),
+        if passed { "PASS" } else { "FAIL" }
+    );
+    AttributionRun {
+        json,
+        report: text,
+        summary,
+        passed,
+        attribution: report,
+    }
+}
+
+fn render_json(report: &AttributionReport, seed: u64, final_time_ns: u64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"final_time_ns\": {final_time_ns},");
+    let _ = writeln!(out, "  \"requests\": {},", report.requests.len());
+    let _ = writeln!(
+        out,
+        "  \"incomplete_chains\": {},",
+        report.incomplete_chains
+    );
+    let _ = writeln!(
+        out,
+        "  \"non_monotone_chains\": {},",
+        report.non_monotone_chains
+    );
+    let _ = writeln!(out, "  \"dropped_events\": {},", report.dropped_events);
+    out.push_str("  \"phases\": [\n");
+    for (i, phase) in Phase::ALL.into_iter().enumerate() {
+        let h = &report.phase_histograms[phase.index()];
+        let _ = write!(
+            out,
+            "    {{\"phase\": \"{}\", \"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}}}{}",
+            phase.name(),
+            h.count(),
+            h.sum_nanos(),
+            h.percentile(50.0).as_nanos(),
+            h.percentile(99.0).as_nanos(),
+            h.max().as_nanos(),
+            if i + 1 < Phase::ALL.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
+        );
+    }
+    out.push_str("  ],\n");
+    let rtt = &report.rtt_histogram;
+    let _ = writeln!(
+        out,
+        "  \"rtt\": {{\"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"max_ns\": {}}},",
+        rtt.count(),
+        rtt.sum_nanos(),
+        rtt.percentile(50.0).as_nanos(),
+        rtt.percentile(99.0).as_nanos(),
+        rtt.max().as_nanos()
+    );
+    out.push_str("  \"top\": [\n");
+    let top = report.top_k(TOP_K);
+    for (i, r) in top.iter().enumerate() {
+        let mut phases = String::new();
+        for (j, phase) in Phase::ALL.into_iter().enumerate() {
+            let _ = write!(
+                phases,
+                "\"{}\": {}{}",
+                phase.name(),
+                r.phase_ns[phase.index()],
+                if j + 1 < Phase::ALL.len() { ", " } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "    {{\"trace_id\": {}, \"client_node\": {}, \"started_at_ns\": {}, \
+             \"rtt_ns\": {}, \"dominant\": \"{}\", \"phases\": {{{phases}}}, \"hops\": {}}}{}",
+            r.trace_id,
+            r.client_node,
+            r.started_at.as_nanos(),
+            r.rtt.as_nanos(),
+            r.dominant().name(),
+            r.hops,
+            if i + 1 < top.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    \"{}\"{}",
+            v.replace('\\', "\\\\").replace('"', "\\\""),
+            if i + 1 < report.violations.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"passed\": {}",
+        if !report.requests.is_empty() && report.violations.is_empty() {
+            "true"
+        } else {
+            "false"
+        }
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_run_passes_and_is_deterministic() {
+        let a = attribution_run(42);
+        assert!(a.passed, "{}", a.summary);
+        let b = attribution_run(42);
+        assert_eq!(a.json, b.json, "same seed must render byte-identically");
+        // The JSON carries the tiling evidence: every top entry's
+        // phases sum to its rtt (spot-checked here; CI rechecks from
+        // the file).
+        assert!(a.json.contains("\"passed\": true"));
+        // The killed client replica's replacement held replies
+        // mid-recovery; their replay must surface as hold residency.
+        let hold_line = a
+            .json
+            .lines()
+            .find(|l| l.contains("\"phase\": \"hold_residency\""))
+            .expect("hold_residency phase rendered");
+        assert!(
+            !hold_line.contains("\"max_ns\": 0}"),
+            "workload never exercised the holding queue: {hold_line}"
+        );
+    }
+
+    #[test]
+    fn fragmented_requests_are_attributed() {
+        let run = attribution_run(7);
+        // The KV client's 3000-byte puts span several fragments; the
+        // report must still tile them exactly (passed implies zero
+        // violations) and attribute a nonzero wire phase somewhere.
+        assert!(run.passed, "{}", run.summary);
+        assert!(run.json.contains("\"phase\": \"wire_retransmit\""));
+    }
+}

@@ -71,14 +71,24 @@
 //! cargo run --release -p eternal-bench --bin repro -- health --fault crash_restart
 //! ```
 //!
-//! Unknown experiment names print a one-line usage and exit 2.
+//! `attribution` runs the per-request latency-attribution scenario
+//! (see `docs/ATTRIBUTION.md`), writing `ATTRIB_eternal.json`
+//! (byte-identical per seed) and printing the where-does-the-time-go
+//! report; it exits nonzero if any attributed request failed to tile
+//! its round trip exactly into the pipeline phases:
+//!
+//! ```sh
+//! cargo run --release -p eternal-bench --bin repro -- attribution --seed 42
+//! ```
+//!
+//! Unknown experiment names print the usage and exit 2.
 
 use eternal::chaos::{run_campaign, CampaignConfig, FaultKind};
 use eternal::explore::{run_explore, ExploreConfig};
 use eternal::properties::ReplicationStyle;
 use eternal_bench::{
-    ablation_run, checkpoint_sweep_point, compare, fig6_point, fig6_timeline, frag_threshold,
-    health, overhead_point, replica_count_point, style_run, suite, trace_run,
+    ablation_run, attribution, checkpoint_sweep_point, compare, fig6_point, fig6_timeline,
+    frag_threshold, health, overhead_point, replica_count_point, style_run, suite, trace_run,
 };
 use eternal_obs::timeline::{render_breakdown_json, render_breakdown_table};
 use eternal_sim::Duration;
@@ -97,14 +107,41 @@ const EXPERIMENTS: [&str; 9] = [
 ];
 
 fn usage() {
+    eprintln!("usage: repro [EXPERIMENT ...] | repro SUBCOMMAND [FLAGS]");
+    eprintln!();
     eprintln!(
-        "usage: repro [{}] | \
-         repro bench [--quick] [--compare BASELINE.json] [--threshold-pct-x100 N] | \
-         repro health [--seed N] [--fault KIND] [--json PATH] | \
-         repro chaos [--seed N] [--steps M] [--json PATH] [--causal] [--force-violation] | \
-         repro explore [--seed N] [--budget B] [--quick] [--json PATH] [--force-violation] | \
-         repro trace [--seed N] [--json PATH] | repro timeline [--json PATH]",
-        EXPERIMENTS.join("|")
+        "experiments (no arguments runs them all): {}",
+        EXPERIMENTS.join(", ")
+    );
+    eprintln!();
+    eprintln!("subcommands:");
+    eprintln!(
+        "  timeline     figure-6 recovery breakdown by §5.1 phase \
+         [--json PATH]"
+    );
+    eprintln!(
+        "  chaos        deterministic fault-injection campaign \
+         [--seed N] [--steps M] [--json PATH] [--causal] [--force-violation]"
+    );
+    eprintln!(
+        "  bench        deterministic benchmark suite, writes BENCH_eternal.json \
+         [--quick] [--compare BASELINE.json] [--threshold-pct-x100 N]"
+    );
+    eprintln!(
+        "  trace        end-to-end causal tracing, writes TRACE_eternal.json \
+         [--seed N] [--json PATH]"
+    );
+    eprintln!(
+        "  health       totally-ordered health monitoring, writes HEALTH_eternal.json \
+         [--seed N] [--fault KIND] [--json PATH]"
+    );
+    eprintln!(
+        "  explore      systematic schedule-space exploration, writes EXPLORE_eternal.json \
+         [--seed N] [--budget B] [--quick] [--json PATH] [--force-violation]"
+    );
+    eprintln!(
+        "  attribution  per-request latency attribution, writes ATTRIB_eternal.json \
+         [--seed N] [--json PATH]"
     );
 }
 
@@ -124,6 +161,9 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "health") {
         std::process::exit(health_cmd(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "attribution") {
+        std::process::exit(attribution_cmd(&args[1..]));
     }
     // `timeline --json PATH` takes a flag; peel it off before the
     // experiment-name scan.
@@ -336,11 +376,19 @@ fn trace(args: &[String]) -> i32 {
     }
     let run = trace_run(seed);
     println!(
-        "causal trace: seed={seed} spans={} traces={} total_order_violations={}",
+        "causal trace: seed={seed} spans={} traces={} dropped={} total_order_violations={}",
         run.spans,
         run.trace_count,
+        run.dropped_events,
         run.violations.len()
     );
+    if run.dropped_events > 0 {
+        eprintln!(
+            "trace: WARNING {} span(s) were evicted from the causal ring — the \
+             export shows a truncated history",
+            run.dropped_events
+        );
+    }
     println!("-- sample span tree (first trace) --");
     print!("{}", run.sample_tree);
     for v in &run.violations {
@@ -494,6 +542,48 @@ fn health_cmd(args: &[String]) -> i32 {
     i32::from(!run.passed)
 }
 
+/// `repro -- attribution [--seed N] [--json PATH]`: the per-request
+/// latency-attribution scenario of `docs/ATTRIBUTION.md`. Prints the
+/// phase table and slowest-requests report, writes the attribution
+/// document (byte-identical per seed), and exits nonzero if any
+/// attributed request failed to tile its round trip exactly.
+fn attribution_cmd(args: &[String]) -> i32 {
+    let mut seed = 42u64;
+    let mut json_path = String::from("ATTRIB_eternal.json");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("attribution: --seed needs a numeric seed");
+                    return 2;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = p.clone(),
+                None => {
+                    eprintln!("attribution: --json needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("attribution: unknown flag {other} (expected --seed N / --json PATH)");
+                return 2;
+            }
+        }
+    }
+    let run = attribution::attribution_run(seed);
+    print!("{}", run.report);
+    println!("{}", run.summary);
+    if let Err(e) = std::fs::write(&json_path, &run.json) {
+        eprintln!("attribution: cannot write {json_path}: {e}");
+        return 1;
+    }
+    eprintln!("attribution: wrote {json_path}");
+    i32::from(!run.passed)
+}
+
 fn fig6() {
     println!("== Figure 6: recovery time vs application-level state size ==");
     println!("   (2-way active server, packet-driver client, replica killed + re-launched)");
@@ -519,13 +609,21 @@ fn timeline(json_path: Option<&str>) {
     println!("== Figure 6 breakdown: where recovery time goes, per §5.1 phase ==");
     println!("   (same scenario as fig6, observability on; phases tile the episode)");
     let mut timelines = Vec::new();
+    let mut dropped_events = 0u64;
     for &size in &[1_000usize, 10_000, 100_000, 300_000] {
         let run = fig6_timeline(size, 42);
         timelines.extend(run.timelines);
+        dropped_events += run.dropped_events;
     }
     print!("{}", render_breakdown_table(&timelines));
+    if dropped_events > 0 {
+        eprintln!(
+            "timeline: WARNING {dropped_events} trace event(s) were evicted from the \
+             ring — the breakdown reflects a truncated history"
+        );
+    }
     if let Some(path) = json_path {
-        match std::fs::write(path, render_breakdown_json(&timelines)) {
+        match std::fs::write(path, render_breakdown_json(&timelines, dropped_events)) {
             Ok(()) => eprintln!("timeline: wrote {path}"),
             Err(e) => eprintln!("timeline: cannot write {path}: {e}"),
         }

@@ -12,7 +12,8 @@
 //!   "epochs":    [ {epoch, at_ns, snap{…}} … ],   // the agreed stream
 //!   "nodes":     [ {node, snapshots, max_…} … ],  // per-replica roll-ups
 //!   "diagnoses": [ {epoch, at_ns, detector, severity, …} … ],
-//!   "counts": {"epochs": …, "diagnoses": …, "warning": …, "critical": …}
+//!   "counts": {"epochs": …, "diagnoses": …, "warning": …, "critical": …,
+//!              "trace_dropped_events": …, "causal_dropped_events": …}
 //! }
 //! ```
 //!
@@ -127,10 +128,17 @@ pub fn health_run(seed: u64, fault: Option<FaultKind>) -> HealthRun {
         );
     }
     out.push_str("  ],\n");
+    // Truncated-observability accounting: overflow of the structured
+    // trace ring and the causal recorder during this run (both 0 on the
+    // default lab config, which records neither — the keys exist so a
+    // traced rerun can never silently hide eviction).
+    let trace_dropped = run.cluster.trace().dropped_events();
+    let causal_dropped = run.cluster.causal().dropped();
     let _ = writeln!(
         out,
         "  \"counts\": {{\"epochs\": {}, \"diagnoses\": {}, \"warning\": {warning}, \
-         \"critical\": {critical}}},",
+         \"critical\": {critical}, \"trace_dropped_events\": {trace_dropped}, \
+         \"causal_dropped_events\": {causal_dropped}}},",
         epochs.len(),
         diagnoses.len()
     );
@@ -141,13 +149,21 @@ pub fn health_run(seed: u64, fault: Option<FaultKind>) -> HealthRun {
     );
     out.push_str("}\n");
 
-    let summary = format!(
+    let mut summary = format!(
         "health: seed={seed} fault={} epochs={} diagnoses={} warning={warning} critical={critical} verdict={}",
         fault.map_or("none", FaultKind::name),
         epochs.len(),
         diagnoses.len(),
         if passed { "PASS" } else { "FAIL" }
     );
+    if trace_dropped + causal_dropped > 0 {
+        let _ = write!(
+            summary,
+            "\nhealth: WARNING {} event(s) were evicted from observability rings \
+             during this run",
+            trace_dropped + causal_dropped
+        );
+    }
 
     HealthRun {
         json: out,

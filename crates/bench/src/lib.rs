@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod compare;
 pub mod health;
 pub mod suite;
@@ -119,6 +120,9 @@ pub struct TimelineRun {
     pub timelines: Vec<RecoveryTimeline>,
     /// Counters/gauges/histograms from all three layers.
     pub registry: MetricsRegistry,
+    /// Structured-trace ring overflow: events evicted before the
+    /// breakdown was computed (nonzero = truncated observability).
+    pub dropped_events: u64,
 }
 
 /// Runs the Figure 6 scenario for one state size with tracing enabled
@@ -150,6 +154,7 @@ pub fn fig6_timeline(state_bytes: usize, seed: u64) -> TimelineRun {
         },
         timelines: cluster.recovery_timelines().to_vec(),
         registry: cluster.metrics_registry(),
+        dropped_events: cluster.trace().dropped_events(),
     }
 }
 
@@ -529,6 +534,9 @@ pub struct TraceRun {
     pub trace_count: usize,
     /// Indented span tree of the first retained trace, as a sample.
     pub sample_tree: String,
+    /// Causal-recorder ring overflow: spans evicted before export
+    /// (nonzero = the Chrome trace shows a truncated history).
+    pub dropped_events: u64,
 }
 
 /// Runs the causal-tracing scenario: a 3-way actively replicated
@@ -563,6 +571,7 @@ pub fn trace_run(seed: u64) -> TraceRun {
         spans: rec.len(),
         trace_count: ids.len(),
         sample_tree,
+        dropped_events: rec.dropped(),
     }
 }
 

@@ -30,16 +30,25 @@
 //! * **allocations** — encode/decode buffer-pool statistics over the
 //!   throughput workload: how many buffer takes were served from the
 //!   pool instead of the allocator.
+//! * **attribution_overhead** — the `repro -- attribution` workload's
+//!   per-phase p99 latencies gated against the absolute budgets of
+//!   [`ATTRIBUTION_P99_BUDGET_NS`], plus the zero-cost-when-off proof:
+//!   the untraced throughput workload re-run after all the traced
+//!   sections must reproduce the untraced run field for field (frames,
+//!   wire bytes, state digest — attribution instrumentation is inert
+//!   without a `TraceTag` on the wire).
 //!
 //! The suite renders `BENCH_eternal.json` (schema documented in
 //! `docs/BENCHMARKS.md`) with a fixed key order and integer-only
 //! values, and collects invariant violations so the caller can exit
 //! nonzero.
 
+use crate::attribution::attribution_run;
 use crate::{fig6_point, overhead_point};
 use eternal::app::{BlobServant, CounterServant, StreamingClient};
 use eternal::cluster::{Cluster, ClusterConfig};
 use eternal::properties::FaultToleranceProperties;
+use eternal_obs::attribution::Phase;
 use eternal_sim::Duration;
 use std::fmt::Write;
 
@@ -57,6 +66,26 @@ pub const SUITE_SEED: u64 = 42;
 /// trips the suite. Larger payloads amortize far better.
 pub const TRACING_WIRE_BUDGET_PCT_X100: u64 = 6_000;
 
+/// Absolute per-phase p99 ceilings (nanoseconds) for the attribution
+/// workload, indexed like [`Phase::ALL`]. The measured p99s on the
+/// default ring are ~786µs for token wait and wire+retransmit (one
+/// token rotation), exactly 50µs for dispatch (the configured servant
+/// execution window), and 0 for the purely local phases (marshal,
+/// reassembly completion, reply match are instantaneous in the
+/// simulation's cost model) — each budget leaves roughly 2x headroom so
+/// a pipeline regression (extra rotation on the critical path, double
+/// execution, hold leakage into dispatch) trips the suite and the
+/// `--compare` gate, while scheduling jitter does not.
+pub const ATTRIBUTION_P99_BUDGET_NS: [u64; 7] = [
+    10_000,    // client_marshal
+    1_600_000, // token_wait
+    1_600_000, // wire_retransmit
+    100_000,   // reassembly
+    1_000_000, // hold_residency (p99; holds are rare and bounded)
+    100_000,   // dispatch
+    10_000,    // reply_return
+];
+
 /// The finished suite: the JSON document and any violated invariants.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -67,7 +96,7 @@ pub struct BenchReport {
 }
 
 /// One drained streaming-client run at a fixed batching budget.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ThroughputRun {
     replies: u64,
     frames: u64,
@@ -455,17 +484,51 @@ pub fn run_suite(quick: bool) -> BenchReport {
     // pool statistics: deterministic allocation counts without any
     // allocator hooks.
     eternal_cdr::pool::reset();
-    let _ = throughput_run(default_budget, limit, seed, false, Duration::ZERO);
+    let untraced_rerun = throughput_run(default_budget, limit, seed, false, Duration::ZERO);
     let pool = eternal_cdr::pool::stats();
     let reuse_pct_x100 = (pool.reused * 10_000).checked_div(pool.takes).unwrap_or(0);
     if pool.reused == 0 {
         violations.push("allocations: buffer pool never reused a buffer".to_string());
     }
 
+    // --- attribution: per-phase p99 budgets + zero cost when off ---
+    // The rerun above executed *after* every traced section of this
+    // suite; with tracing off it must reproduce the first untraced run
+    // field for field (frames, wire bytes, busy time, state digest).
+    // Any drift means the attribution instrumentation leaks into
+    // untraced execution.
+    let untraced_identical = untraced_rerun == batched;
+    if !untraced_identical {
+        violations.push(format!(
+            "attribution: untraced rerun diverged from the untraced baseline \
+             ({untraced_rerun:?} vs {batched:?}) — tracing must cost zero when off"
+        ));
+    }
+    let attrib = attribution_run(seed);
+    if !attrib.passed {
+        violations.push(format!("attribution: workload failed ({})", attrib.summary));
+    }
+    let phase_p99: Vec<(&'static str, u64, u64)> = Phase::ALL
+        .into_iter()
+        .map(|p| {
+            let measured = attrib.attribution.phase_histograms[p.index()]
+                .percentile(99.0)
+                .as_nanos();
+            (p.name(), measured, ATTRIBUTION_P99_BUDGET_NS[p.index()])
+        })
+        .collect();
+    for (name, measured, budget) in &phase_p99 {
+        if measured > budget {
+            violations.push(format!(
+                "attribution: {name} p99 {measured}ns exceeds the {budget}ns budget"
+            ));
+        }
+    }
+
     // --- render (fixed key order, integers and strings only) ---
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 4,");
+    let _ = writeln!(out, "  \"schema\": 5,");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"quick\": {},", u8::from(quick));
     let _ = writeln!(
@@ -549,6 +612,41 @@ pub fn run_suite(quick: bool) -> BenchReport {
          \"recycled\": {}, \"dropped\": {}, \"reuse_pct_x100\": {}}},",
         pool.takes, pool.fresh, pool.reused, pool.recycled, pool.dropped, reuse_pct_x100
     );
+    out.push_str("  \"attribution_overhead\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"untraced_rerun_identical\": {},",
+        u8::from(untraced_identical)
+    );
+    let _ = writeln!(
+        out,
+        "    \"requests\": {},",
+        attrib.attribution.requests.len()
+    );
+    let _ = writeln!(
+        out,
+        "    \"incomplete_chains\": {},",
+        attrib.attribution.incomplete_chains
+    );
+    let _ = writeln!(
+        out,
+        "    \"dropped_events\": {},",
+        attrib.attribution.dropped_events
+    );
+    let _ = writeln!(
+        out,
+        "    \"tiling_violations\": {},",
+        attrib.attribution.violations.len()
+    );
+    out.push_str("    \"phase_p99_ns\": {\n");
+    for (i, (name, measured, budget)) in phase_p99.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      \"{name}\": {{\"p99_ns\": {measured}, \"budget_ns\": {budget}}}{}",
+            if i + 1 < phase_p99.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("    }\n  },\n");
     out.push_str("  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {

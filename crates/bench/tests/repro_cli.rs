@@ -1,0 +1,77 @@
+//! CLI contract of the `repro` binary: an unknown experiment name must
+//! exit 2 and print a usage text that enumerates *every* subcommand —
+//! the usage is the tool's only discoverable index, so a subcommand
+//! missing from it is effectively undocumented.
+
+use std::process::Command;
+
+/// Every subcommand the usage text must list, with the artifact or
+/// flag that proves its line is the real one-liner and not a stray
+/// mention.
+const SUBCOMMANDS: [(&str, &str); 7] = [
+    ("timeline", "--json PATH"),
+    ("chaos", "--steps M"),
+    ("bench", "BENCH_eternal.json"),
+    ("trace", "TRACE_eternal.json"),
+    ("health", "HEALTH_eternal.json"),
+    ("explore", "EXPLORE_eternal.json"),
+    ("attribution", "ATTRIB_eternal.json"),
+];
+
+/// Every experiment runnable by bare name.
+const EXPERIMENTS: [&str; 9] = [
+    "fig6",
+    "timeline",
+    "overhead",
+    "styles",
+    "checkpoint-sweep",
+    "frag-threshold",
+    "replicas",
+    "ablation-reqid",
+    "ablation-handshake",
+];
+
+#[test]
+fn unknown_experiment_exits_2_with_a_complete_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("no-such-experiment")
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "unknown names must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment"),
+        "must name the problem: {stderr}"
+    );
+    for (name, marker) in SUBCOMMANDS {
+        let line = stderr
+            .lines()
+            .find(|l| l.trim_start().starts_with(name))
+            .unwrap_or_else(|| panic!("usage must list `{name}`:\n{stderr}"));
+        assert!(
+            line.contains(marker),
+            "`{name}` line must carry its one-line description ({marker}): {line}"
+        );
+    }
+    for name in EXPERIMENTS {
+        assert!(
+            stderr.contains(name),
+            "usage must list experiment `{name}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_flags_exit_2() {
+    for sub in ["chaos", "trace", "health", "explore", "attribution"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([sub, "--no-such-flag"])
+            .output()
+            .expect("repro runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{sub}: unknown flags must exit 2"
+        );
+    }
+}

@@ -178,6 +178,23 @@ struct EpisodeObs {
     assignment_at: Option<SimTime>,
 }
 
+/// Backpressure gauges for one processor, sampled as the rotating
+/// token leaves it (so every sample sits at a token-visit boundary —
+/// the same instant flow control makes its send/hold decision). The
+/// node's next [`HealthSnapshot`] publishes the latest sample, and the
+/// cluster registry exports the live-node sums as gauges.
+#[derive(Debug, Clone, Copy, Default)]
+struct BackpressureSample {
+    /// Totem pending-queue depth (messages waiting for the token).
+    pending_depth: u64,
+    /// Flow-control window slots in use as the token left.
+    flow_occupancy: u64,
+    /// Bytes buffered in partially reassembled Eternal messages.
+    reassembly_bytes: u64,
+    /// Checkpoint-log suffix length summed over the node's replicas.
+    log_suffix: u64,
+}
+
 /// The whole simulated system.
 #[derive(Debug)]
 pub struct Cluster {
@@ -218,6 +235,18 @@ pub struct Cluster {
     /// Last time the rotating token arrived at each live processor, for
     /// the token-rotation-time histogram.
     last_token_at: HashMap<NodeId, SimTime>,
+    /// Latest backpressure gauges per processor, refreshed at each
+    /// token-visit boundary (see [`BackpressureSample`]).
+    backpressure: BTreeMap<NodeId, BackpressureSample>,
+    /// `(trace_id, pack_span)` pairs whose [`Hop::Send`] has been
+    /// stamped: a packed frame's *first* transmission records the hop;
+    /// retransmissions and recovery re-broadcasts re-serve the stored
+    /// frame and must not re-stamp it (the Pack→Send gap is then pure
+    /// token wait, and Send→Deliver absorbs wire plus retransmission
+    /// delay). One entry per traced packed frame — causal tracing only
+    /// runs in bounded diagnostic sessions, and nothing is inserted
+    /// when the recorder is disabled.
+    send_stamped: BTreeSet<(u64, u64)>,
     episodes: BTreeMap<TransferId, EpisodeObs>,
     /// Per-node chained FNV-1a digest over every reassembled IIOP
     /// delivery, in delivery order (the batching-invariant witness).
@@ -291,6 +320,8 @@ impl Cluster {
             lamport: BTreeMap::new(),
             registry: MetricsRegistry::new(),
             last_token_at: HashMap::new(),
+            backpressure: BTreeMap::new(),
+            send_stamped: BTreeSet::new(),
             episodes: BTreeMap::new(),
             delivery_digest: BTreeMap::new(),
             stream_digests: BTreeMap::new(),
@@ -587,6 +618,26 @@ impl Cluster {
         reg.gauge_set("eternal.recovering_replicas", recovering);
         reg.gauge_set("eternal.transfer_chunks_pending", chunks_pending);
         reg.gauge_set("eternal.outstanding_calls", self.outstanding_calls() as i64);
+        // Backpressure gauges from the latest token-visit samples
+        // (summed over live processors) — the same values the health
+        // snapshots publish per node through the total order.
+        let mut pending_depth = 0i64;
+        let mut flow_occupancy = 0i64;
+        let mut reassembly_bytes = 0i64;
+        let mut log_suffix = 0i64;
+        for (&node, bp) in &self.backpressure {
+            if !self.is_alive(node) {
+                continue;
+            }
+            pending_depth += bp.pending_depth as i64;
+            flow_occupancy += bp.flow_occupancy as i64;
+            reassembly_bytes += bp.reassembly_bytes as i64;
+            log_suffix += bp.log_suffix as i64;
+        }
+        reg.gauge_set("totem.pending_depth", pending_depth);
+        reg.gauge_set("totem.flow_occupancy", flow_occupancy);
+        reg.gauge_set("eternal.reassembly_bytes", reassembly_bytes);
+        reg.gauge_set("eternal.log_suffix", log_suffix);
         if self.config.health_period > Duration::ZERO {
             reg.gauge_set("health.epochs", self.health_auditor.epochs().len() as i64);
             reg.counter_add("health.diagnoses", 0);
@@ -1049,6 +1100,9 @@ impl Cluster {
         self.abort_recovery_at(node, None);
         let now = self.now();
         self.last_token_at.remove(&node);
+        // The crashed node's queues died with it — a stale sample would
+        // otherwise surface in its first post-restart health snapshots.
+        self.backpressure.remove(&node);
         self.trace.record(
             now,
             format!("{node}/cluster"),
@@ -1150,16 +1204,22 @@ impl Cluster {
         match event {
             Event::TotemFrame { dst, frame } => {
                 if self.is_alive(dst) {
-                    if let Frame::Token(ref t) = frame {
-                        if t.target == dst {
-                            if let Some(prev) = self.last_token_at.insert(dst, now) {
-                                self.registry
-                                    .histogram_record("totem.token_rotation", now - prev);
-                            }
+                    let token_visit = matches!(&frame, Frame::Token(t) if t.target == dst);
+                    if token_visit {
+                        if let Some(prev) = self.last_token_at.insert(dst, now) {
+                            self.registry
+                                .histogram_record("totem.token_rotation", now - prev);
                         }
                     }
                     let actions = self.totem.get_mut(&dst).expect("known").handle_frame(frame);
                     self.apply_totem_actions(dst, actions);
+                    if token_visit {
+                        // Backpressure gauges are sampled as the token
+                        // *leaves* the node: this visit's sends have
+                        // drained what flow control allowed, so what
+                        // remains pending is genuine backlog.
+                        self.sample_backpressure(dst);
+                    }
                 }
             }
             Event::TotemTimer {
@@ -1322,6 +1382,33 @@ impl Cluster {
         eternal_cdr::pool::recycle(encoded);
     }
 
+    /// Refreshes `node`'s backpressure gauges at a token-visit
+    /// boundary. The sample feeds three consumers: the node's next
+    /// [`HealthSnapshot`] (so the auditor's queue-growth detector sees
+    /// an agreed, totally-ordered depth series), the cluster metrics
+    /// registry (dashboard export), and — indirectly — the attribution
+    /// report's token-wait phase, which these depths explain.
+    fn sample_backpressure(&mut self, node: NodeId) {
+        let Some(totem) = self.totem.get(&node) else {
+            return;
+        };
+        let sample = BackpressureSample {
+            pending_depth: totem.backlog() as u64,
+            flow_occupancy: totem.flow_occupancy(),
+            reassembly_bytes: self
+                .reasm
+                .get(&node)
+                .map(|r| r.pending_bytes() as u64)
+                .unwrap_or(0),
+            log_suffix: self
+                .mechs
+                .get(&node)
+                .map(|m| m.log_suffix_total() as u64)
+                .unwrap_or(0),
+        };
+        self.backpressure.insert(node, sample);
+    }
+
     /// Publishes one [`HealthSnapshot`] from `node` through the total
     /// order. Only live members of an operational ring publish —
     /// silence during reformation or partition is itself the signal the
@@ -1348,6 +1435,11 @@ impl Cluster {
         let stats = totem.stats();
         let mech = &self.mechs[&node];
         let pool = eternal_cdr::pool::stats();
+        // Backpressure gauges come from the latest token-visit sample
+        // rather than being re-read here: the health tick fires at an
+        // arbitrary point in the rotation, and sampling mid-visit would
+        // conflate "waiting for the token" with "backlogged".
+        let bp = self.backpressure.get(&node).copied().unwrap_or_default();
         let seq = {
             let s = self.health_seq.entry(node).or_insert(0);
             let v = *s;
@@ -1369,6 +1461,10 @@ impl Cluster {
             pool_takes: pool.takes,
             pool_reused: pool.reused,
             recovering: mech.recovering_replicas() as u64,
+            pending_depth: bp.pending_depth,
+            flow_occupancy: bp.flow_occupancy,
+            reassembly_bytes: bp.reassembly_bytes,
+            log_suffix: bp.log_suffix,
             digest_epoch: self
                 .health_digest_epoch
                 .get(&node)
@@ -1437,6 +1533,35 @@ impl Cluster {
                                 "totem.batch.occupancy",
                                 items.len() as u64,
                             );
+                        }
+                        // Stamp a Send hop at each packed message's
+                        // *first* transmission. Retransmissions and
+                        // recovery re-broadcasts re-serve the stored
+                        // frame and are deliberately not re-stamped, so
+                        // Pack→Send measures pure token wait and
+                        // Send→Deliver absorbs wire time plus any
+                        // retransmission delay. The Lamport clock is
+                        // not bumped: the hop is a timestamped alias of
+                        // the Pack event leaving the node, not a new
+                        // causal step.
+                        if self.causal.is_enabled() {
+                            for tag in &m.trace {
+                                if tag.is_none()
+                                    || !self.send_stamped.insert((tag.trace_id, tag.parent_span))
+                                {
+                                    continue;
+                                }
+                                self.causal.record(
+                                    now,
+                                    node.0 as u64,
+                                    tag.trace_id,
+                                    tag.parent_span,
+                                    Hop::Send,
+                                    tag.clock,
+                                    None,
+                                    format!("seq {}", m.seq),
+                                );
+                            }
                         }
                     }
                     // Exploration choice-point: the fate of this frame

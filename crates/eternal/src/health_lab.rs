@@ -32,6 +32,20 @@ pub struct LabConfig {
     /// to make the paper's mechanisms "diverge", proving the
     /// [`Detector::DigestDivergence`] path end to end.
     pub corrupt_digest: bool,
+    /// Throttle flow control to one new message per token visit with
+    /// batching off (and shrink the blob so its transfer doesn't crawl).
+    /// A throttled ring saturates under the standard workload — even
+    /// health snapshots queue — so only overload scenarios set this.
+    pub throttled_ring: bool,
+    /// Number of client re-bursts in an overload phase (0 = no such
+    /// phase), spaced 500 µs apart. A sustained count (≈40) through a
+    /// throttled ring outruns it for many health epochs and
+    /// [`Detector::BackpressureGrowth`] must fire; a short count on the
+    /// default ring is a transient spike that drains, and every
+    /// detector must stay silent. Not a [`FaultKind`]: overload is a
+    /// load shape, not a failure, and keeping it out of the chaos fault
+    /// set preserves the campaigns' RNG schedule byte for byte.
+    pub overload_kicks: u32,
     /// Cluster size.
     pub processors: u32,
     /// Health-snapshot publish interval.
@@ -44,6 +58,8 @@ impl Default for LabConfig {
             seed: 42,
             fault: None,
             corrupt_digest: false,
+            throttled_ring: false,
+            overload_kicks: 0,
             processors: 5,
             period: Duration::from_millis(1),
         }
@@ -141,10 +157,18 @@ pub fn run_scenario(cfg: &LabConfig) -> LabRun {
     // Small chunks: the blob's transfer streams long enough that the
     // donor-kill scenario has a window to land in.
     cluster_cfg.mech.chunk_bytes = 4_096;
+    if cfg.throttled_ring {
+        // One new message per token visit and no batching: offered
+        // load can now outrun the ring, which is the point.
+        cluster_cfg.totem.max_messages_per_token = 1;
+        cluster_cfg.totem.batch_budget_bytes = 0;
+    }
     let mut cluster = Cluster::new(cluster_cfg, cfg.seed.wrapping_add(1));
 
     let burst = 4;
-    let blob_size = 60_000;
+    // Overload runs shrink the blob: its state transfer is irrelevant
+    // to backpressure and would crawl through the throttled ring.
+    let blob_size = if cfg.throttled_ring { 4_000 } else { 60_000 };
     let counter = cluster.deploy_server(
         "health-counter",
         FaultToleranceProperties::active(3),
@@ -180,6 +204,19 @@ pub fn run_scenario(cfg: &LabConfig) -> LabRun {
         injected_at = Some(cluster.now());
         cluster.corrupt_health_digest(NodeId(0), counter);
         cluster.run_for(Duration::from_millis(20));
+    }
+    if cfg.overload_kicks > 0 {
+        injected_at = Some(cluster.now());
+        // Feed bursts faster than one-message-per-visit can drain: a
+        // sustained phase makes the pending queues at the client hosts
+        // climb monotonically across well over a full detector window
+        // of health epochs, while a short one is a spike the drain
+        // below absorbs. Either way the post-phase drain shows the
+        // detector (if it fired) re-arming.
+        for _ in 0..cfg.overload_kicks {
+            cluster.kick_clients();
+            cluster.run_for(Duration::from_micros(500));
+        }
     }
     if let Some(fault) = cfg.fault {
         injected_at = Some(cluster.now());

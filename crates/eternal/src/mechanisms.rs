@@ -607,6 +607,13 @@ impl Mechanisms {
             .unwrap_or(0)
     }
 
+    /// Checkpoint-log suffix length summed over every locally hosted
+    /// group (a backpressure gauge: replay debt accumulated since the
+    /// last checkpoints).
+    pub fn log_suffix_total(&self) -> usize {
+        self.groups.values().map(|lg| lg.log.suffix_len()).sum()
+    }
+
     /// Quiescence deferrals recorded for the group's local replica
     /// (how many state captures had to wait out a oneway window, §5).
     pub fn quiescence_deferrals(&self, group: GroupId) -> u64 {

@@ -320,6 +320,10 @@ impl EternalMessage {
                     snap.pool_takes,
                     snap.pool_reused,
                     snap.recovering,
+                    snap.pending_depth,
+                    snap.flow_occupancy,
+                    snap.reassembly_bytes,
+                    snap.log_suffix,
                     snap.digest_epoch,
                 ] {
                     enc.write_u64(v);
@@ -424,6 +428,10 @@ impl EternalMessage {
                     pool_takes: dec.read_u64()?,
                     pool_reused: dec.read_u64()?,
                     recovering: dec.read_u64()?,
+                    pending_depth: dec.read_u64()?,
+                    flow_occupancy: dec.read_u64()?,
+                    reassembly_bytes: dec.read_u64()?,
+                    log_suffix: dec.read_u64()?,
                     digest_epoch: dec.read_u64()?,
                     digests: Vec::new(),
                 };
@@ -609,6 +617,13 @@ impl EternalReassembler {
         self.partial.keys().filter(|&&(o, _)| o == origin).count()
     }
 
+    /// Bytes accumulated across all partially assembled messages (a
+    /// backpressure gauge: memory parked waiting for trailing
+    /// fragments).
+    pub fn pending_bytes(&self) -> usize {
+        self.partial.values().map(|p| p.bytes.len()).sum()
+    }
+
     /// Drops every partial from `origin`. Called on a Totem membership
     /// change that excludes `origin` (mirroring `giop::Reassembler`'s
     /// per-connection `reset`): the departed processor will never send
@@ -741,6 +756,10 @@ mod tests {
                     pool_takes: 500,
                     pool_reused: 480,
                     recovering: 0,
+                    pending_depth: 6,
+                    flow_occupancy: 3,
+                    reassembly_bytes: 1408,
+                    log_suffix: 17,
                     digest_epoch: 9,
                     digests: vec![(0, 0xDEAD), (1, 0xBEEF)],
                 },

@@ -72,6 +72,12 @@ pub enum Hop {
     /// visit — batched or singleton, each packed message keeps its own
     /// chain.
     Pack,
+    /// The packed frame's *first* transmission left the sender (stamped
+    /// once per packed message; retransmissions re-serve the stored
+    /// frame and are deliberately not re-stamped, so the Pack→Send gap
+    /// is pure token wait and the Send→Deliver gap absorbs wire time
+    /// plus any retransmission delay).
+    Send,
     /// Total-order delivery at one processor; carries the
     /// [`OrderPos`] all replicas must agree on.
     Deliver,
@@ -104,6 +110,7 @@ impl Hop {
         match self {
             Hop::Marshal => "client.marshal",
             Hop::Pack => "totem.pack",
+            Hop::Send => "totem.send",
             Hop::Deliver => "totem.deliver",
             Hop::Reassemble => "eternal.reassemble",
             Hop::Hold => "eternal.hold",
@@ -335,7 +342,13 @@ impl CausalRecorder {
                 durs[prev] = gap.max(1);
             }
         }
-        let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+        // Extra top-level keys are legal in the Chrome trace object
+        // form; `droppedEvents` makes ring truncation visible in the
+        // export itself rather than only in the recorder's counters.
+        let mut out = format!(
+            "{{\"displayTimeUnit\": \"ns\", \"droppedEvents\": {}, \"traceEvents\": [\n",
+            self.dropped
+        );
         let mut first = true;
         let ts = |t: SimTime| {
             let ns = t.as_nanos();

@@ -68,6 +68,17 @@ pub struct HealthSnapshot {
     /// Locally hosted replicas currently mid-recovery (awaiting sync
     /// or enqueueing).
     pub recovering: u64,
+    /// Totem pending-queue depth (messages broadcast locally but not
+    /// yet packed into ring frames), sampled at the last token visit.
+    pub pending_depth: u64,
+    /// Totem flow-control slot occupancy at the last token visit:
+    /// sequence numbers in flight beyond the local all-received-up-to.
+    pub flow_occupancy: u64,
+    /// Bytes parked in partially reassembled multicast messages.
+    pub reassembly_bytes: u64,
+    /// Checkpoint-log suffix length across locally hosted passive
+    /// groups (messages logged since the last checkpoint).
+    pub log_suffix: u64,
     /// The health epoch at which [`HealthSnapshot::digests`] were
     /// computed, or [`u64::MAX`] when no digest has been taken yet.
     pub digest_epoch: u64,
@@ -85,7 +96,7 @@ impl HealthSnapshot {
     /// the `repro -- health` report embeds these verbatim).
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"node\":{},\"seq\":{},\"published_ns\":{},\"token_age_ns\":{},\"broadcasts\":{},\"delivered\":{},\"retransmits\":{},\"reformations\":{},\"holding_depth\":{},\"reassembly_depth\":{},\"dedup_resident\":{},\"pool_takes\":{},\"pool_reused\":{},\"recovering\":{},\"digest_epoch\":{},\"digests\":[",
+            "{{\"node\":{},\"seq\":{},\"published_ns\":{},\"token_age_ns\":{},\"broadcasts\":{},\"delivered\":{},\"retransmits\":{},\"reformations\":{},\"holding_depth\":{},\"reassembly_depth\":{},\"dedup_resident\":{},\"pool_takes\":{},\"pool_reused\":{},\"recovering\":{},\"pending_depth\":{},\"flow_occupancy\":{},\"reassembly_bytes\":{},\"log_suffix\":{},\"digest_epoch\":{},\"digests\":[",
             self.node,
             self.seq,
             self.published_ns,
@@ -100,6 +111,10 @@ impl HealthSnapshot {
             self.pool_takes,
             self.pool_reused,
             self.recovering,
+            self.pending_depth,
+            self.flow_occupancy,
+            self.reassembly_bytes,
+            self.log_suffix,
             if self.digest_epoch == Self::NO_DIGEST {
                 -1i64
             } else {
@@ -160,6 +175,14 @@ pub enum Detector {
     /// A holding queue, the reassembly table, or the dedup table grew
     /// past its configured cap (unbounded-growth guard).
     QueueGrowth,
+    /// Backpressure trend: a node's Totem pending-queue depth was
+    /// monotone nondecreasing across its entire sliding window and
+    /// grew by at least the configured amount — the offered load has
+    /// outrun the ring's drain rate. Unlike [`Detector::QueueGrowth`]
+    /// (an absolute cap), this catches sustained growth long before any
+    /// cap is hit, while staying quiet on transient bursts (a single
+    /// shrink anywhere in the window resets the condition).
+    BackpressureGrowth,
     /// A replica has been mid-recovery for longer than the recovery
     /// SLO deadline.
     RecoveryOverrun,
@@ -174,11 +197,12 @@ pub enum Detector {
 
 impl Detector {
     /// All detectors, in a stable order.
-    pub const ALL: [Detector; 7] = [
+    pub const ALL: [Detector; 8] = [
         Detector::TokenStall,
         Detector::ReformationStorm,
         Detector::RetransmitSurge,
         Detector::QueueGrowth,
+        Detector::BackpressureGrowth,
         Detector::RecoveryOverrun,
         Detector::ReplicaSilence,
         Detector::DigestDivergence,
@@ -191,6 +215,7 @@ impl Detector {
             Detector::ReformationStorm => "reformation_storm",
             Detector::RetransmitSurge => "retransmit_surge",
             Detector::QueueGrowth => "queue_growth",
+            Detector::BackpressureGrowth => "backpressure_growth",
             Detector::RecoveryOverrun => "recovery_overrun",
             Detector::ReplicaSilence => "replica_silence",
             Detector::DigestDivergence => "digest_divergence",
@@ -286,6 +311,11 @@ pub struct AuditorConfig {
     /// Dedup-table resident cap (at/past → warning; twice →
     /// critical).
     pub dedup_cap: u64,
+    /// Minimum total pending-depth growth, across a node's *full*
+    /// sliding window of monotone-nondecreasing samples, for the
+    /// backpressure detector (warning; twice → critical; zero
+    /// disables).
+    pub backpressure_growth: u64,
     /// A replica continuously mid-recovery past this is an overrun
     /// (critical).
     pub recovery_deadline_ns: u64,
@@ -309,6 +339,7 @@ impl Default for AuditorConfig {
             holding_cap: 256,
             reassembly_cap: 64,
             dedup_cap: 8192,
+            backpressure_growth: 8,
             recovery_deadline_ns: 400_000_000,
             silence_factor: 4,
             clear_epochs: 2,
@@ -345,6 +376,8 @@ pub struct NodeSummary {
     pub max_reassembly_depth: u64,
     /// Largest dedup residency it ever reported.
     pub max_dedup_resident: u64,
+    /// Largest Totem pending-queue depth it ever reported.
+    pub max_pending_depth: u64,
     /// Reformations joined between its first and last snapshot.
     pub reformations: u64,
     /// Retransmissions between its first and last snapshot.
@@ -357,13 +390,14 @@ impl NodeSummary {
     /// Serializes the summary as one JSON object (stable order).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"node\":{},\"snapshots\":{},\"max_token_age_ns\":{},\"max_holding_depth\":{},\"max_reassembly_depth\":{},\"max_dedup_resident\":{},\"reformations\":{},\"retransmits\":{},\"recovering_epochs\":{}}}",
+            "{{\"node\":{},\"snapshots\":{},\"max_token_age_ns\":{},\"max_holding_depth\":{},\"max_reassembly_depth\":{},\"max_dedup_resident\":{},\"max_pending_depth\":{},\"reformations\":{},\"retransmits\":{},\"recovering_epochs\":{}}}",
             self.node,
             self.snapshots,
             self.max_token_age_ns,
             self.max_holding_depth,
             self.max_reassembly_depth,
             self.max_dedup_resident,
+            self.max_pending_depth,
             self.reformations,
             self.retransmits,
             self.recovering_epochs,
@@ -484,6 +518,7 @@ impl HealthAuditor {
             entry.0.max_holding_depth = entry.0.max_holding_depth.max(s.holding_depth);
             entry.0.max_reassembly_depth = entry.0.max_reassembly_depth.max(s.reassembly_depth);
             entry.0.max_dedup_resident = entry.0.max_dedup_resident.max(s.dedup_resident);
+            entry.0.max_pending_depth = entry.0.max_pending_depth.max(s.pending_depth);
             if s.recovering > 0 {
                 entry.0.recovering_epochs += 1;
             }
@@ -520,6 +555,7 @@ impl HealthAuditor {
         self.check_token(epoch, now_ns, snap);
         self.check_deltas(epoch, now_ns, snap);
         self.check_queues(epoch, now_ns, snap);
+        self.check_backpressure(epoch, now_ns, snap);
         self.check_recovery(epoch, now_ns, snap);
         self.check_silence(epoch, now_ns, snap.node);
         self.check_digests(epoch, now_ns, snap);
@@ -630,6 +666,49 @@ impl HealthAuditor {
                 );
             }
             None => self.clear(Detector::QueueGrowth, subject),
+        }
+    }
+
+    fn check_backpressure(&mut self, epoch: u64, now_ns: u64, snap: &HealthSnapshot) {
+        if self.cfg.backpressure_growth == 0 {
+            return;
+        }
+        let subject = Subject::Node(snap.node);
+        let Some(win) = self.window.get(&snap.node) else {
+            return;
+        };
+        let full = self.cfg.window_epochs.max(2);
+        if win.len() < full {
+            // Not enough history to call a trend either way: neither
+            // fire nor clear, so a short stream cannot false-positive
+            // *or* prematurely re-arm an active subject.
+            return;
+        }
+        let monotone = win
+            .iter()
+            .zip(win.iter().skip(1))
+            .all(|(a, b)| b.pending_depth >= a.pending_depth);
+        let growth = win
+            .back()
+            .expect("nonempty")
+            .pending_depth
+            .saturating_sub(win.front().expect("nonempty").pending_depth);
+        if monotone && growth >= self.cfg.backpressure_growth {
+            let depth = win.back().expect("nonempty").pending_depth;
+            self.graded(
+                epoch,
+                now_ns,
+                Detector::BackpressureGrowth,
+                subject,
+                growth,
+                self.cfg.backpressure_growth,
+                format!(
+                    "pending depth grew monotonically by {growth} over {full} epochs \
+                     (now {depth})"
+                ),
+            );
+        } else {
+            self.clear(Detector::BackpressureGrowth, subject);
         }
     }
 
@@ -1004,6 +1083,75 @@ mod tests {
     }
 
     #[test]
+    fn backpressure_fires_on_sustained_monotone_growth() {
+        let mut a = HealthAuditor::new(AuditorConfig::default());
+        let window = a.config().window_epochs as u64;
+        let growth_min = a.config().backpressure_growth;
+        // Depth climbs by growth_min every epoch, never shrinking.
+        for i in 0..window + 2 {
+            let t = (i + 1) * 5_000_000;
+            let mut s = snap(0, i, t);
+            s.pending_depth = i * growth_min;
+            a.observe(i, t, &s);
+        }
+        let fired: Vec<&Diagnosis> = a
+            .diagnoses()
+            .iter()
+            .filter(|d| d.detector == Detector::BackpressureGrowth)
+            .collect();
+        assert!(!fired.is_empty(), "sustained growth must fire");
+        // Growth of (window-1)*growth_min >= 2*growth_min → critical.
+        assert_eq!(fired[0].severity, Severity::Critical);
+        assert!(fired[0].detail.contains("monotonically"), "{fired:?}");
+    }
+
+    #[test]
+    fn backpressure_ignores_transient_bursts() {
+        let mut a = HealthAuditor::new(AuditorConfig::default());
+        let window = a.config().window_epochs as u64;
+        let growth_min = a.config().backpressure_growth;
+        // A burst grows the queue fast, then it drains: every window
+        // containing the shrink is non-monotone, and windows after the
+        // drain have zero growth.
+        let depths: Vec<u64> = (0..window + 6)
+            .map(|i| {
+                if i < 3 {
+                    i * growth_min * 2 // sharp climb
+                } else {
+                    0 // drained
+                }
+            })
+            .collect();
+        for (i, &d) in depths.iter().enumerate() {
+            let t = (i as u64 + 1) * 5_000_000;
+            let mut s = snap(0, i as u64, t);
+            s.pending_depth = d;
+            a.observe(i as u64, t, &s);
+        }
+        assert!(
+            a.diagnoses()
+                .iter()
+                .all(|d| d.detector != Detector::BackpressureGrowth),
+            "transient burst must not fire: {:?}",
+            a.diagnoses()
+        );
+    }
+
+    #[test]
+    fn backpressure_needs_a_full_window() {
+        let mut a = HealthAuditor::new(AuditorConfig::default());
+        let growth_min = a.config().backpressure_growth;
+        // Fewer epochs than the window: growth alone must not fire.
+        for i in 0..(a.config().window_epochs as u64 - 1) {
+            let t = (i + 1) * 5_000_000;
+            let mut s = snap(0, i, t);
+            s.pending_depth = i * growth_min * 4;
+            a.observe(i, t, &s);
+        }
+        assert!(a.diagnoses().is_empty(), "{:?}", a.diagnoses());
+    }
+
+    #[test]
     fn node_summaries_roll_up_the_stream() {
         let mut a = HealthAuditor::new(AuditorConfig::default());
         let mut s = snap(0, 0, 1000);
@@ -1029,6 +1177,9 @@ mod tests {
         s.digests = vec![(0, 11), (1, 22)];
         let js = s.to_json();
         assert!(js.starts_with("{\"node\":3,\"seq\":7,"));
+        assert!(js.contains(
+            "\"pending_depth\":0,\"flow_occupancy\":0,\"reassembly_bytes\":0,\"log_suffix\":0,"
+        ));
         assert!(js.ends_with("\"digest_epoch\":2,\"digests\":[[0,11],[1,22]]}"));
         assert!(snap(0, 0, 0).to_json().contains("\"digest_epoch\":-1"));
         let d = Diagnosis {
@@ -1053,6 +1204,7 @@ mod tests {
             Detector::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), Detector::ALL.len());
         assert!(names.contains("digest_divergence"));
+        assert!(names.contains("backpressure_growth"));
         assert!(Severity::Info < Severity::Warning);
         assert!(Severity::Warning < Severity::Critical);
     }

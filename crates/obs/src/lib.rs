@@ -19,6 +19,11 @@
 //!   trees, verifies the total-order claim, exports Chrome trace-event
 //!   JSON, and doubles as the post-mortem flight recorder
 //!   (`docs/TRACING.md`).
+//! * [`attribution`] — per-request latency attribution: tiles each
+//!   traced round trip's RTT exactly into named pipeline phases along
+//!   the critical path through fragments and batches, with per-phase
+//!   histograms and a top-K slowest-requests table
+//!   (`docs/ATTRIBUTION.md`).
 //! * [`trace`] — a bounded, drop-oldest [`trace::Trace`] ring buffer
 //!   with a span API ([`trace::Trace::span_begin`] /
 //!   [`trace::Trace::span_end`]); all record paths are no-ops when the
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod causal;
 pub mod event;
 pub mod export;
@@ -51,6 +57,7 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
+pub use attribution::{attribute, AttributionReport, Phase, RequestAttribution};
 pub use causal::{CausalEvent, CausalRecorder, Hop, OrderPos, TraceTag};
 pub use event::{EventKind, RecoveryPhase, SpanEdge, SpanId, SpanRef, TraceEvent};
 pub use health::{

@@ -154,6 +154,7 @@ pub struct TotemNode {
     batches: u64,
     batched_messages: u64,
     frames_saved: u64,
+    last_flow_occupancy: u64,
 }
 
 /// Snapshot of a node's protocol counters, for export into a metrics
@@ -217,6 +218,7 @@ impl TotemNode {
             batches: 0,
             batched_messages: 0,
             frames_saved: 0,
+            last_flow_occupancy: 0,
         }
     }
 
@@ -273,6 +275,16 @@ impl TotemNode {
     /// Number of app payloads waiting to be sequenced.
     pub fn backlog(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Flow-control slot occupancy measured at this node's last token
+    /// visit: sequence numbers in flight beyond its
+    /// all-received-up-to, i.e. how much of
+    /// [`TotemConfig::window_size`] was in use when it last held the
+    /// token. A backpressure gauge — near `window_size` means senders
+    /// are stalling on the window, not the medium.
+    pub fn flow_occupancy(&self) -> u64 {
+        self.last_flow_occupancy
     }
 
     /// All messages with sequence numbers `1..=aru` have been received
@@ -1131,6 +1143,11 @@ impl TotemNode {
                 budget -= 1;
             }
         }
+
+        // Sample flow-control occupancy at the token-visit boundary,
+        // *after* this visit's sends: how much of the window is in
+        // flight as the token leaves this node.
+        self.last_flow_occupancy = t.seq.saturating_sub(self.my_aru);
 
         // 3. Request retransmission of our gaps.
         for s in (self.my_aru + 1)..=t.seq {

@@ -71,6 +71,54 @@ fn coverage_matrix_maps_every_fault_to_its_detector() {
     }
 }
 
+/// Sustained overload — offered load outrunning the throttled ring —
+/// must fire the backpressure detector: the Totem pending queues grow
+/// monotonically across a full detector window of agreed epochs.
+/// Overload is a load shape rather than a fault, so it enters the
+/// coverage matrix through `LabConfig::overload_kicks`, not a
+/// `FaultKind`.
+#[test]
+fn overload_fires_backpressure_growth() {
+    let run = run_scenario(&LabConfig {
+        throttled_ring: true,
+        overload_kicks: 40,
+        ..LabConfig::default()
+    });
+    let injected = run.injected_at.expect("overload phase ran").as_nanos();
+    let fired: Vec<Detector> = run
+        .cluster
+        .health_auditor()
+        .diagnoses()
+        .iter()
+        .filter(|d| d.at_ns >= injected)
+        .map(|d| d.detector)
+        .collect();
+    assert!(
+        fired.contains(&Detector::BackpressureGrowth),
+        "sustained overload went undetected: {fired:?}"
+    );
+}
+
+/// A short burst on the default ring is a transient: the pending
+/// queues spike at each kick instant and drain within an epoch or two,
+/// which must never read as sustained backpressure — or anything else.
+/// (Fault runs are deliberately not held to this standard: a 60 kB
+/// state transfer restreamed after `kill_mid_transfer` genuinely grows
+/// the donor's queue monotonically for a full window, and the detector
+/// reporting that is a true positive.)
+#[test]
+fn transient_bursts_stay_silent() {
+    let run = run_scenario(&LabConfig {
+        overload_kicks: 3,
+        ..LabConfig::default()
+    });
+    let diagnoses = run.cluster.health_auditor().diagnoses();
+    assert!(
+        diagnoses.is_empty(),
+        "transient burst misread as sustained: {diagnoses:?}"
+    );
+}
+
 #[test]
 fn digest_corruption_fires_divergence_critical() {
     let run = run_scenario(&LabConfig {
